@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kanon"
+)
+
+const testCSV = `age,city
+30,haifa
+31,haifa
+32,tel-aviv
+40,tel-aviv
+41,jerusalem
+42,jerusalem
+`
+
+const testHier = `{"attributes": [
+  {"attribute": "age", "subsets": [
+    {"label": "30s", "values": ["30", "31", "32"]},
+    {"label": "40s", "values": ["40", "41", "42"]}
+  ]}
+]}`
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.csv", testCSV)
+	hier := writeFile(t, dir, "hier.json", testHier)
+	out := filepath.Join(dir, "out.csv")
+
+	for _, notion := range []kanon.Notion{kanon.NotionK, kanon.NotionKK, kanon.NotionGlobal1K} {
+		err := run(in, hier, out, "", 0, true, kanon.Options{K: 3, Notion: notion, Measure: kanon.MeasureEntropy, Distance: "d3"}, true)
+		if err != nil {
+			t.Fatalf("notion %s: %v", notion, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) != 7 { // header + 6 records
+			t.Errorf("notion %s: %d output lines, want 7", notion, len(lines))
+		}
+		if lines[0] != "age,city" {
+			t.Errorf("notion %s: header %q", notion, lines[0])
+		}
+	}
+}
+
+func TestRunForestAndVariants(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.csv", testCSV)
+	out := filepath.Join(dir, "out.csv")
+	if err := run(in, "", out, "", 0, true, kanon.Options{K: 2, Notion: kanon.NotionK, Forest: true, Measure: kanon.MeasureLM}, false); err != nil {
+		t.Fatalf("forest: %v", err)
+	}
+	if err := run(in, "", out, "", 0, true, kanon.Options{K: 2, Notion: kanon.NotionKK, UseNearest: true, Measure: kanon.MeasureLM}, false); err != nil {
+		t.Fatalf("nearest: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.csv", testCSV)
+	if err := run(filepath.Join(dir, "missing.csv"), "", "", "", 0, true, kanon.Options{K: 2}, false); err == nil {
+		t.Error("expected error for missing input")
+	}
+	if err := run(in, filepath.Join(dir, "missing.json"), "", "", 0, true, kanon.Options{K: 2}, false); err == nil {
+		t.Error("expected error for missing hierarchy file")
+	}
+	bad := writeFile(t, dir, "bad.json", "{")
+	if err := run(in, bad, "", "", 0, true, kanon.Options{K: 2}, false); err == nil {
+		t.Error("expected error for bad hierarchy JSON")
+	}
+	if err := run(in, "", "", "", 0, true, kanon.Options{K: 0}, false); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if err := run(in, "", filepath.Join(dir, "nodir", "out.csv"), "", 0, true, kanon.Options{K: 2}, false); err == nil {
+		t.Error("expected error for unwritable output")
+	}
+	if err := run(in, "", "", filepath.Join(dir, "missing-sens.txt"), 0, true, kanon.Options{K: 2}, false); err == nil {
+		t.Error("expected error for missing sensitive file")
+	}
+	short := writeFile(t, dir, "short-sens.txt", "a\nb\n")
+	if err := run(in, "", "", short, 0, true, kanon.Options{K: 2}, false); err == nil {
+		t.Error("expected error for wrong sensitive length")
+	}
+}
+
+func TestRunAutoHier(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.csv", testCSV)
+	out := filepath.Join(dir, "out.csv")
+	if err := run(in, "", out, "", 3, true, kanon.Options{K: 3, Notion: kanon.NotionKK}, true); err != nil {
+		t.Fatalf("auto-hier run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "{") && !strings.Contains(string(data), "*") {
+		t.Errorf("auto-hier output shows no generalization: %s", data)
+	}
+	hier := writeFile(t, dir, "hier.json", testHier)
+	if err := run(in, hier, out, "", 3, true, kanon.Options{K: 3}, false); err == nil {
+		t.Error("expected -hier/-auto-hier exclusion error")
+	}
+}
+
+func TestRunDiversity(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.csv", testCSV)
+	hier := writeFile(t, dir, "hier.json", testHier)
+	sens := writeFile(t, dir, "sens.txt", "flu\ncancer\nflu\ncancer\nflu\ncancer\n")
+	out := filepath.Join(dir, "out.csv")
+	err := run(in, hier, out, sens, 0, true,
+		kanon.Options{K: 2, Notion: kanon.NotionKK, Diversity: 2}, true)
+	if err != nil {
+		t.Fatalf("diversity run: %v", err)
+	}
+}
+
+func TestRunFullDomain(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.csv", testCSV)
+	hier := writeFile(t, dir, "hier.json", testHier)
+	out := filepath.Join(dir, "out.csv")
+	err := run(in, hier, out, "", 0, true,
+		kanon.Options{K: 3, Notion: kanon.NotionK, FullDomain: true}, true)
+	if err != nil {
+		t.Fatalf("full-domain run: %v", err)
+	}
+}

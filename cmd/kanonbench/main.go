@@ -1,0 +1,283 @@
+// Command kanonbench regenerates the evaluation of "k-Anonymization
+// Revisited": Table I, Figures 2 and 3, and the ablation findings of
+// Section VI-A, per the experiment index in DESIGN.md (E1–E13).
+//
+// Usage:
+//
+//	kanonbench -exp table1            # default-scale Table I (E1–E6, E12)
+//	kanonbench -exp fig2 -full        # Figure 2 at paper scale (E7)
+//	kanonbench -exp all -v            # everything, with progress lines
+//
+// Dataset sizes default to ART 1000 / ADT 2000 / CMC 1473 so the suite
+// finishes in minutes; -full switches to paper scale (ART 5000, ADT 5000,
+// CMC 1500).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kanon/internal/experiment"
+	"kanon/internal/plot"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "table1", "experiment: table1, fig2, fig3, distances, modified, k1, global, recoding, queries, diversity, scale, all")
+		full    = flag.Bool("full", false, "paper-scale dataset sizes")
+		verify  = flag.Bool("verify", false, "verify every output against the anonymity definitions (slow)")
+		verbose = flag.Bool("v", false, "print one line per completed run")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of formatted text")
+		svgDir  = flag.String("svg", "", "also write figure SVGs (fig2.svg, fig3.svg) to this directory")
+		seed    = flag.Int64("seed", 42, "dataset generator seed")
+		nART    = flag.Int("n-art", 0, "override ART size")
+		nADT    = flag.Int("n-adt", 0, "override ADT size")
+		nCMC    = flag.Int("n-cmc", 0, "override CMC size")
+	)
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	if *full {
+		cfg = experiment.FullConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Verify = *verify
+	if *nART > 0 {
+		cfg.NART = *nART
+	}
+	if *nADT > 0 {
+		cfg.NADT = *nADT
+	}
+	if *nCMC > 0 {
+		cfg.NCMC = *nCMC
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	start := time.Now()
+	r := &runner{cfg: cfg, blocks: make(map[string]*experiment.Block), svgDir: *svgDir}
+	if err := r.run(os.Stdout, *exp, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "kanonbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "total time: %v (sizes ART=%d ADT=%d CMC=%d, seed=%d)\n",
+		time.Since(start).Round(time.Millisecond), cfg.NART, cfg.NADT, cfg.NCMC, cfg.Seed)
+}
+
+// runner memoizes dataset × measure blocks so `-exp all` computes each of
+// the six expensive blocks exactly once.
+type runner struct {
+	cfg    experiment.Config
+	blocks map[string]*experiment.Block
+	svgDir string
+}
+
+func (r *runner) block(dataset string, m experiment.MeasureKind) (*experiment.Block, error) {
+	key := dataset + "/" + string(m)
+	if b, ok := r.blocks[key]; ok {
+		return b, nil
+	}
+	b, err := r.cfg.RunBlock(dataset, m)
+	if err != nil {
+		return nil, err
+	}
+	r.blocks[key] = b
+	return b, nil
+}
+
+func (r *runner) allBlocks() ([]*experiment.Block, error) {
+	var out []*experiment.Block
+	for _, m := range []experiment.MeasureKind{experiment.EM, experiment.LM} {
+		for _, d := range []string{"ART", "ADT", "CMC"} {
+			b, err := r.block(d, m)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// collect runs one experiment and returns both its machine-readable data
+// and its formatted text.
+func (r *runner) collect(exp string) (interface{}, string, error) {
+	switch exp {
+	case "table1":
+		blocks, err := r.allBlocks()
+		if err != nil {
+			return nil, "", err
+		}
+		text := experiment.FormatTableI(blocks) + "\n" + experiment.FormatPerEntrySummary(blocks)
+		return blocks, text, nil
+	case "fig2", "fig3":
+		m := experiment.EM
+		if exp == "fig3" {
+			m = experiment.LM
+		}
+		blk, err := r.block("ADT", m)
+		if err != nil {
+			return nil, "", err
+		}
+		if r.svgDir != "" {
+			if err := writeFigureSVG(r.svgDir, exp, blk); err != nil {
+				return nil, "", err
+			}
+		}
+		return blk, experiment.FormatFigureCSV(blk), nil
+	case "distances", "modified", "k1":
+		blocks, err := r.allBlocks()
+		if err != nil {
+			return nil, "", err
+		}
+		var text string
+		for _, blk := range blocks {
+			switch exp {
+			case "distances":
+				text += experiment.FormatDistanceAblation(blk) + "\n"
+			case "modified":
+				text += experiment.FormatModifiedAblation(blk) + "\n"
+			case "k1":
+				text += experiment.FormatK1Ablation(blk) + "\n"
+			}
+		}
+		return blocks, text, nil
+	case "global":
+		var all []experiment.GlobalResult
+		for _, d := range []string{"ART", "ADT", "CMC"} {
+			res, err := r.cfg.RunGlobal(d, experiment.EM, []float64{0.2, 0.5})
+			if err != nil {
+				return nil, "", err
+			}
+			all = append(all, res...)
+		}
+		return all, experiment.FormatGlobal(all), nil
+	case "recoding":
+		var all []experiment.RecodingResult
+		for _, d := range []string{"ART", "ADT", "CMC"} {
+			res, err := r.cfg.RunRecoding(d, experiment.EM)
+			if err != nil {
+				return nil, "", err
+			}
+			all = append(all, res...)
+		}
+		return all, experiment.FormatRecoding(all), nil
+	case "queries":
+		var all []experiment.QueryResult
+		for _, d := range []string{"ART", "ADT", "CMC"} {
+			res, err := r.cfg.RunQueries(d, 300)
+			if err != nil {
+				return nil, "", err
+			}
+			all = append(all, res...)
+		}
+		return all, experiment.FormatQueries(all), nil
+	case "scale":
+		sizes := []int{1000, 2000, 4000}
+		skipPlainAbove := 4000
+		if r.cfg.NADT >= 5000 { // -full
+			sizes = []int{1000, 2000, 5000, 10000, 20000}
+			skipPlainAbove = 5000
+		}
+		res, err := r.cfg.RunScale(sizes, 10, 400, skipPlainAbove)
+		if err != nil {
+			return nil, "", err
+		}
+		return res, experiment.FormatScale(res), nil
+	case "diversity":
+		var all []experiment.DiversityResult
+		for _, d := range []string{"ART", "ADT", "CMC"} {
+			res, err := r.cfg.RunDiversity(d, 2)
+			if err != nil {
+				return nil, "", err
+			}
+			all = append(all, res...)
+		}
+		return all, experiment.FormatDiversity(all), nil
+	default:
+		return nil, "", fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// writeFigureSVG renders a figure block as <dir>/<name>.svg, in the style
+// of the paper's Figures 2 and 3.
+func writeFigureSVG(dir, name string, blk *experiment.Block) error {
+	measureLabel := "entropy measure"
+	if blk.Measure == experiment.LM {
+		measureLabel = "LM measure"
+	}
+	chart := plot.Chart{
+		Title:  fmt.Sprintf("Comparison of algorithms by the %s (%s)", measureLabel, blk.Dataset),
+		XLabel: "k",
+		YLabel: "Information loss",
+	}
+	type row struct {
+		label  string
+		s      experiment.Series
+		dashed bool
+	}
+	for _, rw := range []row{
+		{"k-anon.", blk.BestKAnon, false},
+		{"forest alg.", blk.Forest, true},
+		{"(k,k)-anon.", blk.BestKK, false},
+	} {
+		var xs, ys []float64
+		for _, k := range blk.SortedKs() {
+			xs = append(xs, float64(k))
+			ys = append(ys, rw.s.Losses[k])
+		}
+		chart.Series = append(chart.Series, plot.Series{Name: rw.label, X: xs, Y: ys, Dashed: rw.dashed})
+	}
+	svg, err := chart.SVG()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".svg"), []byte(svg), 0o644)
+}
+
+var allExperiments = []string{
+	"table1", "fig2", "fig3", "distances", "modified", "k1",
+	"global", "recoding", "queries", "diversity", "scale",
+}
+
+func (r *runner) run(w io.Writer, exp string, asJSON bool) error {
+	names := []string{exp}
+	if exp == "all" {
+		names = allExperiments
+	}
+	type envelope struct {
+		Experiment string            `json:"experiment"`
+		Config     experiment.Config `json:"config"`
+		Data       interface{}       `json:"data"`
+	}
+	var envelopes []envelope
+	for _, name := range names {
+		data, text, err := r.collect(name)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			envelopes = append(envelopes, envelope{Experiment: name, Config: r.cfg, Data: data})
+			continue
+		}
+		if exp == "all" {
+			fmt.Fprintf(w, "==== %s ====\n", name)
+		}
+		fmt.Fprintln(w, text)
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if len(envelopes) == 1 {
+			return enc.Encode(envelopes[0])
+		}
+		return enc.Encode(envelopes)
+	}
+	return nil
+}

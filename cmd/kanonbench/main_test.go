@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kanon/internal/experiment"
+)
+
+func tinyRunner() *runner {
+	return &runner{
+		cfg:    experiment.Config{NART: 80, NADT: 80, NCMC: 80, Seed: 3, Ks: []int{3}},
+		blocks: make(map[string]*experiment.Block),
+	}
+}
+
+func TestRunnerTable1(t *testing.T) {
+	r := tinyRunner()
+	var sb strings.Builder
+	if err := r.run(&sb, "table1", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"TABLE I", "ART", "ADT", "CMC", "best k-anon", "forest", "(k,k)-anon"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestRunnerFigures(t *testing.T) {
+	r := tinyRunner()
+	var sb strings.Builder
+	if err := r.run(&sb, "fig2", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 2") {
+		t.Error("fig2 output missing marker")
+	}
+	sb.Reset()
+	if err := r.run(&sb, "fig3", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 3") {
+		t.Error("fig3 output missing marker")
+	}
+}
+
+func TestRunnerAblations(t *testing.T) {
+	r := tinyRunner()
+	var sb strings.Builder
+	for _, exp := range []string{"distances", "modified", "k1"} {
+		sb.Reset()
+		if err := r.run(&sb, exp, false); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestRunnerGlobal(t *testing.T) {
+	r := tinyRunner()
+	var sb strings.Builder
+	if err := r.run(&sb, "global", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "GLOBAL (1,k) UPGRADE") {
+		t.Error("global output missing header")
+	}
+}
+
+func TestRunnerExtensions(t *testing.T) {
+	r := tinyRunner()
+	var sb strings.Builder
+	for _, exp := range []string{"recoding", "queries", "diversity"} {
+		sb.Reset()
+		if err := r.run(&sb, exp, false); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestRunnerSVG(t *testing.T) {
+	r := tinyRunner()
+	r.svgDir = t.TempDir()
+	var sb strings.Builder
+	if err := r.run(&sb, "fig3", false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(r.svgDir, "fig3.svg"))
+	if err != nil {
+		t.Fatalf("figure SVG not written: %v", err)
+	}
+	for _, want := range []string{"<svg", "LM measure", "forest alg."} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Unwritable directory surfaces as an error.
+	r2 := tinyRunner()
+	r2.blocks = r.blocks // reuse computed block
+	r2.svgDir = filepath.Join(r.svgDir, "missing", "deeper")
+	if err := r2.run(&sb, "fig3", false); err == nil {
+		t.Error("expected error for unwritable SVG directory")
+	}
+}
+
+func TestRunnerJSON(t *testing.T) {
+	r := tinyRunner()
+	var sb strings.Builder
+	if err := r.run(&sb, "fig2", true); err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Experiment string                 `json:"experiment"`
+		Config     map[string]interface{} `json:"config"`
+		Data       map[string]interface{} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &envelope); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if envelope.Experiment != "fig2" {
+		t.Errorf("experiment = %q", envelope.Experiment)
+	}
+	if envelope.Data["Dataset"] != "ADT" {
+		t.Errorf("data.Dataset = %v", envelope.Data["Dataset"])
+	}
+	if _, hasLog := envelope.Config["Log"]; hasLog {
+		t.Error("Log writer leaked into JSON config")
+	}
+}
+
+func TestRunnerUnknown(t *testing.T) {
+	r := tinyRunner()
+	var sb strings.Builder
+	if err := r.run(&sb, "bogus", false); err == nil {
+		t.Error("expected unknown experiment error")
+	}
+}
+
+func TestRunnerBlockMemoization(t *testing.T) {
+	r := tinyRunner()
+	b1, err := r.block("ART", experiment.EM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.block("ART", experiment.EM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("block not memoized")
+	}
+}

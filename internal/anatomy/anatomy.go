@@ -1,0 +1,206 @@
+// Package anatomy implements the Anatomy bucketization of Xiao and Tao
+// (VLDB'06), which Section II of "k-Anonymization Revisited" cites as the
+// complementary line of work: instead of generalizing quasi-identifiers,
+// Anatomy publishes them *unaltered* and breaks the QI↔sensitive link by
+// grouping records into buckets of ℓ distinct sensitive values, releasing
+// a quasi-identifier table (record → bucket id) and a sensitive table
+// (bucket id → sensitive value counts).
+//
+// The package exists as a baseline for the utility/privacy trade-off
+// conversation: Anatomy answers QI-only aggregate queries exactly (zero
+// generalization), enforces ℓ-diversity of sensitive inference by
+// construction, but provides no membership or linkage protection for the
+// quasi-identifiers themselves — precisely the dimension the paper's
+// k-type notions address.
+package anatomy
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Release is an anatomized table: BucketOf assigns every record to a
+// bucket, and Buckets lists, per bucket, the count of each sensitive value
+// (the published ST).
+type Release struct {
+	// L is the diversity parameter the release was built for.
+	L int
+	// BucketOf[i] is the bucket id of record i.
+	BucketOf []int
+	// Buckets[b][v] is the number of records with sensitive value v in
+	// bucket b.
+	Buckets []map[int]int
+}
+
+// Anatomize partitions n records into buckets, each containing at least l
+// records with pairwise-distinct sensitive values (except that the last
+// bucket absorbs a residue of fewer than l leftovers, one per distinct
+// value, as in the original algorithm). sensitive[i] is the sensitive
+// value of record i.
+//
+// The standard eligibility condition applies: no sensitive value may
+// occur in more than ⌈n/l⌉ records; otherwise the bucketization is
+// impossible and an error is returned.
+func Anatomize(sensitive []int, l int) (*Release, error) {
+	n := len(sensitive)
+	if l < 1 {
+		return nil, fmt.Errorf("anatomy: l must be ≥ 1, got %d", l)
+	}
+	if n == 0 {
+		return &Release{L: l}, nil
+	}
+	if n < l {
+		return nil, fmt.Errorf("anatomy: %d records cannot form an l=%d bucket", n, l)
+	}
+	// Group record indices by sensitive value.
+	byValue := make(map[int][]int)
+	for i, v := range sensitive {
+		byValue[v] = append(byValue[v], i)
+	}
+	if len(byValue) < l {
+		return nil, fmt.Errorf("anatomy: only %d distinct sensitive values for l=%d", len(byValue), l)
+	}
+	ceil := (n + l - 1) / l
+	for v, recs := range byValue {
+		if len(recs) > ceil {
+			return nil, fmt.Errorf("anatomy: sensitive value %d occurs %d times, exceeding ⌈n/l⌉ = %d (eligibility violated)", v, len(recs), ceil)
+		}
+	}
+
+	// Bucketization: while ≥ l non-empty groups remain, pop the l largest
+	// groups and take one record from each.
+	h := &groupHeap{}
+	values := make([]int, 0, len(byValue))
+	for v := range byValue {
+		values = append(values, v)
+	}
+	sort.Ints(values) // deterministic order
+	for _, v := range values {
+		heap.Push(h, group{value: v, records: byValue[v]})
+	}
+
+	rel := &Release{L: l, BucketOf: make([]int, n)}
+	for h.Len() >= l {
+		popped := make([]group, l)
+		bucket := make(map[int]int, l)
+		bid := len(rel.Buckets)
+		for x := 0; x < l; x++ {
+			g := heap.Pop(h).(group)
+			rec := g.records[len(g.records)-1]
+			g.records = g.records[:len(g.records)-1]
+			rel.BucketOf[rec] = bid
+			bucket[g.value]++
+			popped[x] = g
+		}
+		rel.Buckets = append(rel.Buckets, bucket)
+		for _, g := range popped {
+			if len(g.records) > 0 {
+				heap.Push(h, g)
+			}
+		}
+	}
+	// Residue: fewer than l non-empty groups remain, each (by the
+	// eligibility condition) with exactly one record; assign each to an
+	// existing bucket that lacks its value.
+	for h.Len() > 0 {
+		g := heap.Pop(h).(group)
+		for _, rec := range g.records {
+			placed := false
+			for bid, bucket := range rel.Buckets {
+				if bucket[g.value] == 0 {
+					rel.BucketOf[rec] = bid
+					bucket[g.value]++
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("anatomy: internal error: residue record %d has no admissible bucket", rec)
+			}
+		}
+	}
+	return rel, nil
+}
+
+// Verify checks the release invariants against the sensitive attribute:
+// every bucket has at least L distinct values, every record's bucket
+// contains its value, and the bucket counts add up.
+func (r *Release) Verify(sensitive []int) error {
+	if len(r.BucketOf) != len(sensitive) {
+		return fmt.Errorf("anatomy: release covers %d records, sensitive has %d", len(r.BucketOf), len(sensitive))
+	}
+	counts := make([]map[int]int, len(r.Buckets))
+	for i := range counts {
+		counts[i] = make(map[int]int)
+	}
+	for i, b := range r.BucketOf {
+		if b < 0 || b >= len(r.Buckets) {
+			return fmt.Errorf("anatomy: record %d in invalid bucket %d", i, b)
+		}
+		counts[b][sensitive[i]]++
+	}
+	for b := range r.Buckets {
+		if len(counts[b]) < r.L {
+			return fmt.Errorf("anatomy: bucket %d has %d distinct values, want ≥ %d", b, len(counts[b]), r.L)
+		}
+		for v, c := range counts[b] {
+			if r.Buckets[b][v] != c {
+				return fmt.Errorf("anatomy: bucket %d value %d: published %d, actual %d", b, v, r.Buckets[b][v], c)
+			}
+		}
+		for v, c := range r.Buckets[b] {
+			if c != counts[b][v] {
+				return fmt.Errorf("anatomy: bucket %d publishes phantom count for value %d", b, v)
+			}
+		}
+	}
+	return nil
+}
+
+// InferenceRisk returns, per record, the adversary's posterior probability
+// of the record's true sensitive value given the release: count of that
+// value in its bucket divided by the bucket size. Anatomy bounds this by
+// roughly 1/L for buckets without residue.
+func (r *Release) InferenceRisk(sensitive []int) ([]float64, error) {
+	if len(r.BucketOf) != len(sensitive) {
+		return nil, fmt.Errorf("anatomy: release covers %d records, sensitive has %d", len(r.BucketOf), len(sensitive))
+	}
+	sizes := make([]int, len(r.Buckets))
+	for b, bucket := range r.Buckets {
+		for _, c := range bucket {
+			sizes[b] += c
+		}
+	}
+	out := make([]float64, len(sensitive))
+	for i, b := range r.BucketOf {
+		out[i] = float64(r.Buckets[b][sensitive[i]]) / float64(sizes[b])
+	}
+	return out, nil
+}
+
+// group is one sensitive value's remaining records; the heap pops the
+// largest group first (ties by smaller value for determinism).
+type group struct {
+	value   int
+	records []int
+}
+
+type groupHeap []group
+
+func (h groupHeap) Len() int { return len(h) }
+func (h groupHeap) Less(i, j int) bool {
+	if len(h[i].records) != len(h[j].records) {
+		return len(h[i].records) > len(h[j].records)
+	}
+	return h[i].value < h[j].value
+}
+func (h groupHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *groupHeap) Push(x interface{}) { *h = append(*h, x.(group)) }
+func (h *groupHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

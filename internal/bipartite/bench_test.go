@@ -1,0 +1,72 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchGraph builds an n×n graph with identity edges plus ~deg random
+// extras per left node — the shape of the paper's consistency graphs
+// (degree between k and 2k).
+func benchGraph(n, deg int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, n)
+	for u := 0; u < n; u++ {
+		g.AddEdge(u, u)
+		for d := 0; d < deg; d++ {
+			v := rng.Intn(n)
+			if v != u && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkHopcroftKarp1000(b *testing.B) {
+	g := benchGraph(1000, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := HopcroftKarp(g)
+		if !m.IsPerfect() {
+			b.Fatal("expected perfect matching")
+		}
+	}
+}
+
+func BenchmarkAllowedEdges1000(b *testing.B) {
+	g := benchGraph(1000, 10, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AllowedEdges(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllowedEdgesNaive100 shows why the SCC method matters: the
+// paper's per-edge formulation at just n=100.
+func BenchmarkAllowedEdgesNaive100(b *testing.B) {
+	g := benchGraph(100, 6, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AllowedEdgesNaive(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSCC(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for d := 0; d < 4; d++ {
+			adj[u] = append(adj[u], rng.Intn(n))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SCC(adj)
+	}
+}

@@ -1,0 +1,311 @@
+// Package bipartite implements the bipartite consistency graph V_{D,g(D)}
+// machinery of "k-Anonymization Revisited": maximum matchings via
+// Hopcroft–Karp, perfect-matching tests, and the computation of matches —
+// edges that can be completed to a perfect matching (Definition 4.6) —
+// which underlies global (1,k)-anonymity.
+//
+// Two match-computation methods are provided. The paper's formulation
+// removes each edge's endpoints and re-runs Hopcroft–Karp, costing
+// O(√n·m) per edge (AllowedEdgesNaive, kept as a test oracle). The fast
+// method computes one perfect matching, orients matched edges right→left
+// and unmatched edges left→right, and observes that an unmatched edge lies
+// in some perfect matching iff its endpoints share a strongly connected
+// component — a single Tarjan SCC pass, O(n + m) after the matching.
+package bipartite
+
+import "fmt"
+
+// Graph is a bipartite graph with nLeft left nodes (original records) and
+// nRight right nodes (generalized records). Edges are stored as adjacency
+// lists on the left side.
+type Graph struct {
+	nLeft, nRight int
+	adj           [][]int
+	nEdges        int
+}
+
+// New creates an empty bipartite graph.
+func New(nLeft, nRight int) *Graph {
+	return &Graph{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
+}
+
+// NLeft returns the number of left nodes.
+func (g *Graph) NLeft() int { return g.nLeft }
+
+// NRight returns the number of right nodes.
+func (g *Graph) NRight() int { return g.nRight }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.nEdges }
+
+// AddEdge inserts the edge (u, v); duplicate edges must not be added.
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || u >= g.nLeft || v < 0 || v >= g.nRight {
+		panic(fmt.Sprintf("bipartite: edge (%d,%d) out of range (%d x %d)", u, v, g.nLeft, g.nRight))
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.nEdges++
+}
+
+// Neighbors returns the right-side neighbours of left node u. The returned
+// slice must not be modified.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// HasEdge reports whether the edge (u, v) is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.nLeft, g.nRight)
+	for u, vs := range g.adj {
+		c.adj[u] = append([]int(nil), vs...)
+	}
+	c.nEdges = g.nEdges
+	return c
+}
+
+// Matching is the result of a maximum-matching computation. MatchL[u] is
+// the right node matched to left node u (or -1), MatchR[v] symmetric, and
+// Size the number of matched pairs.
+type Matching struct {
+	MatchL []int
+	MatchR []int
+	Size   int
+}
+
+// IsPerfect reports whether the matching saturates both sides.
+func (m *Matching) IsPerfect() bool {
+	return m.Size == len(m.MatchL) && m.Size == len(m.MatchR)
+}
+
+const inf = int(^uint(0) >> 1)
+
+// HopcroftKarp computes a maximum matching in O(√V · E).
+func HopcroftKarp(g *Graph) *Matching {
+	matchL := make([]int, g.nLeft)
+	matchR := make([]int, g.nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, g.nLeft)
+	queue := make([]int, 0, g.nLeft)
+	size := 0
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < g.nLeft; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range g.adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range g.adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < g.nLeft; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return &Matching{MatchL: matchL, MatchR: matchR, Size: size}
+}
+
+// HasPerfectMatching reports whether the graph admits a perfect matching
+// (both sides fully saturated).
+func HasPerfectMatching(g *Graph) bool {
+	if g.nLeft != g.nRight {
+		return false
+	}
+	return HopcroftKarp(g).IsPerfect()
+}
+
+// AllowedEdges returns, for every left node u, the sorted-by-insertion list
+// of right nodes v such that the edge (u, v) can be completed to a perfect
+// matching — the matches of Definition 4.6. It returns an error if the
+// graph has no perfect matching (then no edge is a match and global
+// (1,k)-anonymity is vacuous).
+func AllowedEdges(g *Graph) ([][]int, error) {
+	if g.nLeft != g.nRight {
+		return nil, fmt.Errorf("bipartite: sides differ (%d vs %d); no perfect matching", g.nLeft, g.nRight)
+	}
+	m := HopcroftKarp(g)
+	if !m.IsPerfect() {
+		return nil, fmt.Errorf("bipartite: no perfect matching (size %d of %d)", m.Size, g.nLeft)
+	}
+	// Directed graph: node ids 0..nLeft-1 are left, nLeft..nLeft+nRight-1
+	// are right. Unmatched edge u→v, matched edge v→u.
+	n := g.nLeft + g.nRight
+	dadj := make([][]int, n)
+	for u := 0; u < g.nLeft; u++ {
+		for _, v := range g.adj[u] {
+			if m.MatchL[u] == v {
+				dadj[g.nLeft+v] = append(dadj[g.nLeft+v], u)
+			} else {
+				dadj[u] = append(dadj[u], g.nLeft+v)
+			}
+		}
+	}
+	comp := SCC(dadj)
+	out := make([][]int, g.nLeft)
+	for u := 0; u < g.nLeft; u++ {
+		for _, v := range g.adj[u] {
+			if m.MatchL[u] == v || comp[u] == comp[g.nLeft+v] {
+				out[u] = append(out[u], v)
+			}
+		}
+	}
+	return out, nil
+}
+
+// AllowedEdgesNaive is the paper's per-edge formulation: edge (u, v) is a
+// match iff the graph without u and v still has a perfect matching. It runs
+// one Hopcroft–Karp per edge and exists as a correctness oracle for
+// AllowedEdges.
+func AllowedEdgesNaive(g *Graph) ([][]int, error) {
+	if !HasPerfectMatching(g) {
+		return nil, fmt.Errorf("bipartite: no perfect matching")
+	}
+	out := make([][]int, g.nLeft)
+	for u := 0; u < g.nLeft; u++ {
+		for _, v := range g.adj[u] {
+			sub := New(g.nLeft-1, g.nRight-1)
+			for u2 := 0; u2 < g.nLeft; u2++ {
+				if u2 == u {
+					continue
+				}
+				su := u2
+				if u2 > u {
+					su--
+				}
+				for _, v2 := range g.adj[u2] {
+					if v2 == v {
+						continue
+					}
+					sv := v2
+					if v2 > v {
+						sv--
+					}
+					sub.AddEdge(su, sv)
+				}
+			}
+			if HasPerfectMatching(sub) {
+				out[u] = append(out[u], v)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SCC computes strongly connected components of a directed graph given as
+// adjacency lists, using an iterative Tarjan algorithm. It returns the
+// component id of every node; ids are dense starting at 0.
+func SCC(adj [][]int) []int {
+	n := len(adj)
+	comp := make([]int, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	nextIndex, nextComp := 0, 0
+
+	type frame struct {
+		node, edge int
+	}
+	var call []frame
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		call = append(call[:0], frame{start, 0})
+		index[start] = nextIndex
+		low[start] = nextIndex
+		nextIndex++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			u := f.node
+			if f.edge < len(adj[u]) {
+				v := adj[u][f.edge]
+				f.edge++
+				if index[v] == -1 {
+					index[v] = nextIndex
+					low[v] = nextIndex
+					nextIndex++
+					stack = append(stack, v)
+					onStack[v] = true
+					call = append(call, frame{v, 0})
+				} else if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+				continue
+			}
+			// Leaving u.
+			if low[u] == index[u] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nextComp
+					if w == u {
+						break
+					}
+				}
+				nextComp++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].node
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+			}
+		}
+	}
+	return comp
+}

@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"kanon/internal/table"
+)
+
+// AggloOptions configures the agglomerative engine.
+type AggloOptions struct {
+	// K is the minimum final cluster size (the anonymity parameter).
+	K int
+	// Distance is the inter-cluster distance; one of the Section V-A.2
+	// functions, typically D3 or D4.
+	Distance Distance
+	// Modified enables the Algorithm 2 refinement: ripe clusters are shrunk
+	// back to exactly K members, re-seeding the removed records as
+	// singletons.
+	Modified bool
+
+	// MinDiversity, when > 1, additionally requires every final cluster to
+	// contain at least MinDiversity distinct values of Sensitive — the
+	// distinct ℓ-diversity constraint of Machanavajjhala et al., which
+	// Section II of the paper marks as a natural extension of the
+	// framework. Sensitive must then hold one value per record.
+	MinDiversity int
+	Sensitive    []int
+}
+
+// Agglomerate runs the basic agglomerative algorithm (Algorithm 1) — or,
+// when opt.Modified is set, the modified agglomerative algorithm
+// (Algorithm 2) — and returns the final clustering γ: disjoint clusters
+// covering all records, each of size ≥ K (exactly K for all but the
+// leftover-absorbing clusters in the modified variant).
+func Agglomerate(s *Space, tbl *table.Table, opt AggloOptions) ([]*Cluster, error) {
+	n := tbl.Len()
+	if opt.Distance == nil {
+		return nil, fmt.Errorf("cluster: nil distance")
+	}
+	if opt.K > n {
+		return nil, fmt.Errorf("cluster: k=%d exceeds table size n=%d", opt.K, n)
+	}
+	if opt.MinDiversity > 1 {
+		if len(opt.Sensitive) != n {
+			return nil, fmt.Errorf("cluster: %d sensitive values for %d records", len(opt.Sensitive), n)
+		}
+		distinct := make(map[int]bool)
+		for _, v := range opt.Sensitive {
+			distinct[v] = true
+		}
+		if len(distinct) < opt.MinDiversity {
+			return nil, fmt.Errorf("cluster: table has %d distinct sensitive values, %d-diversity unattainable",
+				len(distinct), opt.MinDiversity)
+		}
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if opt.K <= 1 && opt.MinDiversity <= 1 {
+		// Every singleton already satisfies the size constraint; the optimal
+		// clustering is the identity.
+		out := make([]*Cluster, n)
+		for i := 0; i < n; i++ {
+			out[i] = s.NewSingleton(tbl, i)
+		}
+		return out, nil
+	}
+
+	e := &aggloEngine{s: s, tbl: tbl, opt: opt}
+	e.run()
+	return e.final, nil
+}
+
+// aggloEngine maintains, for every live cluster, its exact nearest live
+// neighbour (nn1) plus a cached second-nearest (nn2) that is either exact
+// or marked unknown. Cluster closures are immutable once formed, so
+// distances between untouched clusters never change; on a merge only the
+// two dead clusters and the newborn affect the structure:
+//
+//   - a cluster whose nn1 died promotes its nn2 (the exact runner-up),
+//     leaving nn2 unknown;
+//   - a cluster whose nn1 survived but whose nn2 died just forgets nn2;
+//   - a cluster that lost both rescans — the rare case;
+//   - the newborn is then offered to everyone as a candidate nn1/nn2.
+//
+// This keeps every merge at O(live·r) even when one cluster is the nearest
+// neighbour of everyone (the typical regime under distances (10) and (11)),
+// for the paper's O(n²) total.
+type aggloEngine struct {
+	s   *Space
+	tbl *table.Table
+	opt AggloOptions
+
+	nodes []*Cluster
+	alive []bool
+	nLive int
+
+	nn1, nn2 []int // -1: none/unknown
+	d1, d2   []float64
+
+	final []*Cluster
+}
+
+func (e *aggloEngine) run() {
+	n := e.tbl.Len()
+	e.nodes = make([]*Cluster, 0, 2*n)
+	e.alive = make([]bool, 0, 2*n)
+	e.nn1 = make([]int, 0, 2*n)
+	e.nn2 = make([]int, 0, 2*n)
+	e.d1 = make([]float64, 0, 2*n)
+	e.d2 = make([]float64, 0, 2*n)
+	for i := 0; i < n; i++ {
+		e.push(e.s.NewSingleton(e.tbl, i))
+	}
+	for i := range e.nodes {
+		e.scanNN(i)
+	}
+
+	for e.nLive > 1 {
+		// Find the closest ordered pair among live clusters.
+		best, bestDist := -1, math.Inf(1)
+		for i, ok := range e.alive {
+			if ok && e.nn1[i] >= 0 && e.d1[i] < bestDist {
+				best, bestDist = i, e.d1[i]
+			}
+		}
+		if best < 0 {
+			break // defensive: cannot happen with nLive > 1
+		}
+		a, b := best, e.nn1[best]
+		merged := e.s.Merge(e.nodes[a], e.nodes[b])
+		e.kill(a)
+		e.kill(b)
+
+		var added []int
+		if merged.Size() >= e.opt.K && e.diverseEnough(merged) {
+			if e.opt.Modified && merged.Size() > e.opt.K {
+				removed := e.shrink(merged)
+				for _, ri := range removed {
+					added = append(added, e.push(e.s.NewSingleton(e.tbl, ri)))
+				}
+			}
+			e.final = append(e.final, merged)
+		} else {
+			added = append(added, e.push(merged))
+		}
+		e.repairNN(a, b, added)
+	}
+
+	// At most one undersized cluster remains; distribute its records to the
+	// nearest final clusters (Algorithm 1, line 10).
+	for i, ok := range e.alive {
+		if !ok {
+			continue
+		}
+		for _, ri := range e.nodes[i].Members {
+			e.absorb(ri)
+		}
+	}
+}
+
+// push appends a cluster to the arena as live and returns its id.
+func (e *aggloEngine) push(c *Cluster) int {
+	id := len(e.nodes)
+	e.nodes = append(e.nodes, c)
+	e.alive = append(e.alive, true)
+	e.nn1 = append(e.nn1, -1)
+	e.nn2 = append(e.nn2, -1)
+	e.d1 = append(e.d1, math.Inf(1))
+	e.d2 = append(e.d2, math.Inf(1))
+	e.nLive++
+	return id
+}
+
+func (e *aggloEngine) kill(id int) {
+	if e.alive[id] {
+		e.alive[id] = false
+		e.nLive--
+	}
+}
+
+// dist evaluates dist(A, B) for clusters a, b without allocating.
+func (e *aggloEngine) dist(a, b int) float64 {
+	ca, cb := e.nodes[a], e.nodes[b]
+	r := e.s.NumAttrs()
+	sum := 0.0
+	for j := 0; j < r; j++ {
+		node := e.s.Hiers[j].LCA(ca.Closure[j], cb.Closure[j])
+		sum += e.s.CostAt(j, node)
+	}
+	dU := sum / float64(r)
+	return e.opt.Distance.Eval(ca.Size(), cb.Size(), ca.Size()+cb.Size(), ca.Cost, cb.Cost, dU)
+}
+
+// scanNN rescans all live clusters to find i's nearest and second-nearest
+// neighbours exactly.
+func (e *aggloEngine) scanNN(i int) {
+	e.nn1[i], e.d1[i] = -1, math.Inf(1)
+	e.nn2[i], e.d2[i] = -1, math.Inf(1)
+	if !e.alive[i] {
+		return
+	}
+	for j, ok := range e.alive {
+		if !ok || j == i {
+			continue
+		}
+		d := e.dist(i, j)
+		switch {
+		case d < e.d1[i]:
+			e.nn2[i], e.d2[i] = e.nn1[i], e.d1[i]
+			e.nn1[i], e.d1[i] = j, d
+		case d < e.d2[i]:
+			e.nn2[i], e.d2[i] = j, d
+		}
+	}
+}
+
+// repairNN restores the nearest-neighbour invariant after clusters a and b
+// died and the clusters in added were born.
+func (e *aggloEngine) repairNN(a, b int, added []int) {
+	isAdded := func(id int) bool {
+		for _, x := range added {
+			if x == id {
+				return true
+			}
+		}
+		return false
+	}
+	dead := func(id int) bool { return id == a || id == b }
+
+	var rescan []int
+	for i, ok := range e.alive {
+		if !ok || isAdded(i) {
+			continue
+		}
+		if dead(e.nn1[i]) {
+			if e.nn2[i] >= 0 && !dead(e.nn2[i]) {
+				// The exact runner-up becomes the nearest; the new
+				// runner-up is unknown.
+				e.nn1[i], e.d1[i] = e.nn2[i], e.d2[i]
+				e.nn2[i], e.d2[i] = -1, math.Inf(1)
+			} else {
+				rescan = append(rescan, i)
+				continue
+			}
+		} else if dead(e.nn2[i]) {
+			e.nn2[i], e.d2[i] = -1, math.Inf(1)
+		}
+		// Offer each newborn as a candidate.
+		for _, m := range added {
+			d := e.dist(i, m)
+			switch {
+			case d < e.d1[i]:
+				e.nn2[i], e.d2[i] = e.nn1[i], e.d1[i]
+				e.nn1[i], e.d1[i] = m, d
+			case e.nn2[i] >= 0 && d < e.d2[i]:
+				e.nn2[i], e.d2[i] = m, d
+			}
+		}
+	}
+	for _, i := range rescan {
+		e.scanNN(i)
+	}
+	for _, m := range added {
+		e.scanNN(m)
+	}
+}
+
+// diverseEnough reports whether the cluster meets the optional distinct
+// ℓ-diversity constraint.
+func (e *aggloEngine) diverseEnough(c *Cluster) bool {
+	if e.opt.MinDiversity <= 1 {
+		return true
+	}
+	seen := make(map[int]bool, e.opt.MinDiversity)
+	for _, i := range c.Members {
+		seen[e.opt.Sensitive[i]] = true
+		if len(seen) >= e.opt.MinDiversity {
+			return true
+		}
+	}
+	return false
+}
+
+// membersDiverseEnough is diverseEnough over a raw member list.
+func (e *aggloEngine) membersDiverseEnough(members []int) bool {
+	if e.opt.MinDiversity <= 1 {
+		return true
+	}
+	seen := make(map[int]bool, e.opt.MinDiversity)
+	for _, i := range members {
+		seen[e.opt.Sensitive[i]] = true
+		if len(seen) >= e.opt.MinDiversity {
+			return true
+		}
+	}
+	return false
+}
+
+// shrink implements Algorithm 2: repeatedly evict from the ripe cluster c
+// the member R̂_i maximizing dist(Ŝ, Ŝ\{R̂_i}) until |c| = K. Evictions
+// that would violate the diversity constraint are skipped; if none is
+// admissible the cluster is left larger than K, which remains valid. c is
+// mutated in place and the evicted record indices returned.
+func (e *aggloEngine) shrink(c *Cluster) []int {
+	var removed []int
+	for c.Size() > e.opt.K {
+		bestIdx, bestD := -1, math.Inf(-1)
+		var bestRest *Cluster
+		for mi := range c.Members {
+			rest := make([]int, 0, c.Size()-1)
+			rest = append(rest, c.Members[:mi]...)
+			rest = append(rest, c.Members[mi+1:]...)
+			if !e.membersDiverseEnough(rest) {
+				continue
+			}
+			restCl := e.s.NewCluster(e.tbl, rest)
+			// dist(Ŝ, Ŝ\{R̂_i}): the union of the two sets is Ŝ itself.
+			d := e.opt.Distance.Eval(c.Size(), restCl.Size(), c.Size(), c.Cost, restCl.Cost, c.Cost)
+			if d > bestD {
+				bestIdx, bestD, bestRest = mi, d, restCl
+			}
+		}
+		if bestIdx < 0 {
+			break // every eviction would break diversity
+		}
+		removed = append(removed, c.Members[bestIdx])
+		c.Members = bestRest.Members
+		c.Closure = bestRest.Closure
+		c.Cost = bestRest.Cost
+	}
+	return removed
+}
+
+// absorb adds record ri to the final cluster minimizing dist({R_ri}, S),
+// updating that cluster's closure and cost.
+func (e *aggloEngine) absorb(ri int) {
+	single := e.s.NewSingleton(e.tbl, ri)
+	bestIdx, bestD := -1, math.Inf(1)
+	r := e.s.NumAttrs()
+	for fi, f := range e.final {
+		sum := 0.0
+		for j := 0; j < r; j++ {
+			node := e.s.Hiers[j].LCA(single.Closure[j], f.Closure[j])
+			sum += e.s.CostAt(j, node)
+		}
+		dU := sum / float64(r)
+		d := e.opt.Distance.Eval(1, f.Size(), 1+f.Size(), single.Cost, f.Cost, dU)
+		if d < bestD {
+			bestIdx, bestD = fi, d
+		}
+	}
+	if bestIdx < 0 {
+		// No final cluster exists (n < 2k and everything stayed unripe is
+		// excluded by the k ≤ n guard, but stay safe): promote the singleton.
+		e.final = append(e.final, single)
+		return
+	}
+	f := e.final[bestIdx]
+	f.Members = append(f.Members, ri)
+	e.s.MergeInto(f.Closure, single.Closure)
+	f.Cost = e.s.Cost(f.Closure)
+}

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/loss"
+	"kanon/internal/table"
+)
+
+// randomSpace builds a random table (n records, 3 attributes) and an LM
+// space over interval hierarchies.
+func randomSpace(t *testing.T, rng *rand.Rand, n int) (*Space, *table.Table) {
+	t.Helper()
+	schema := table.MustSchema(
+		table.MustAttribute("a", []string{"0", "1", "2", "3", "4", "5", "6", "7"}),
+		table.MustAttribute("b", []string{"x", "y", "z", "w"}),
+		table.MustAttribute("c", []string{"p", "q"}),
+	)
+	tbl := table.New(schema)
+	for i := 0; i < n; i++ {
+		tbl.MustAppend(table.Record{rng.Intn(8), rng.Intn(4), rng.Intn(2)})
+	}
+	ha, err := hierarchy.Intervals(8, []int{2, 4}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := hierarchy.FromSubsets(4, []hierarchy.Subset{{Values: []int{0, 1}}, {Values: []int{2, 3}}}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiers := []*hierarchy.Hierarchy{ha, hb, hierarchy.Flat(2)}
+	s, err := NewSpace(hiers, loss.NewLM(hiers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tbl
+}
+
+// checkClustering asserts the structural invariants of a final clustering:
+// disjoint clusters covering all records, all of size ≥ k, closures
+// covering their members, costs cached correctly.
+func checkClustering(t *testing.T, s *Space, tbl *table.Table, clusters []*Cluster, k int) {
+	t.Helper()
+	seen := make([]bool, tbl.Len())
+	for ci, c := range clusters {
+		if c.Size() < k {
+			t.Errorf("cluster %d has size %d < k=%d", ci, c.Size(), k)
+		}
+		for _, i := range c.Members {
+			if seen[i] {
+				t.Errorf("record %d in two clusters", i)
+			}
+			seen[i] = true
+			if !s.Consistent(tbl.Records[i], c.Closure) {
+				t.Errorf("cluster %d closure does not cover member %d", ci, i)
+			}
+		}
+		if math.Abs(c.Cost-s.Cost(c.Closure)) > eps {
+			t.Errorf("cluster %d cached cost %v != %v", ci, c.Cost, s.Cost(c.Closure))
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("record %d not clustered", i)
+		}
+	}
+}
+
+func TestAgglomerateInvariantsAllDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, dist := range AllDistances() {
+		for _, modified := range []bool{false, true} {
+			for _, k := range []int{2, 3, 5} {
+				s, tbl := randomSpace(t, rng, 40)
+				clusters, err := Agglomerate(s, tbl, AggloOptions{K: k, Distance: dist, Modified: modified})
+				if err != nil {
+					t.Fatalf("%s modified=%v k=%d: %v", dist.Name(), modified, k, err)
+				}
+				checkClustering(t, s, tbl, clusters, k)
+			}
+		}
+	}
+}
+
+func TestAgglomerateModifiedPrefersExactK(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	s, tbl := randomSpace(t, rng, 60)
+	const k = 4
+	clusters, err := Agglomerate(s, tbl, AggloOptions{K: k, Distance: D3{}, Modified: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All clusters except those that absorbed leftovers have size exactly k.
+	oversize := 0
+	for _, c := range clusters {
+		if c.Size() > k {
+			oversize++
+		}
+	}
+	// 60 = 15·4, so the leftover-absorption step may enlarge only a few
+	// clusters; the bulk must be exactly k.
+	if oversize > len(clusters)/2 {
+		t.Errorf("%d of %d clusters oversize; modified algorithm should shrink to k", oversize, len(clusters))
+	}
+}
+
+func TestAgglomerateKEqualsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s, tbl := randomSpace(t, rng, 7)
+	clusters, err := Agglomerate(s, tbl, AggloOptions{K: 7, Distance: D2{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || clusters[0].Size() != 7 {
+		t.Errorf("k=n should give a single cluster, got %d clusters", len(clusters))
+	}
+}
+
+func TestAgglomerateKTooLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	s, tbl := randomSpace(t, rng, 5)
+	if _, err := Agglomerate(s, tbl, AggloOptions{K: 6, Distance: D2{}}); err == nil {
+		t.Error("expected error for k > n")
+	}
+}
+
+func TestAgglomerateNilDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	s, tbl := randomSpace(t, rng, 5)
+	if _, err := Agglomerate(s, tbl, AggloOptions{K: 2}); err == nil {
+		t.Error("expected error for nil distance")
+	}
+}
+
+func TestAgglomerateKOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	s, tbl := randomSpace(t, rng, 9)
+	clusters, err := Agglomerate(s, tbl, AggloOptions{K: 1, Distance: D2{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 9 {
+		t.Errorf("k=1 should keep singletons, got %d clusters", len(clusters))
+	}
+	for _, c := range clusters {
+		if c.Cost != 0 {
+			t.Error("singleton cluster with nonzero cost")
+		}
+	}
+}
+
+func TestAgglomerateEmptyTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	s, tbl := randomSpace(t, rng, 0)
+	clusters, err := Agglomerate(s, tbl, AggloOptions{K: 0, Distance: D2{}})
+	if err != nil || clusters != nil {
+		t.Errorf("empty table: %v, %v", clusters, err)
+	}
+}
+
+func TestAgglomerateDeterminism(t *testing.T) {
+	for _, dist := range []Distance{D1{}, D3{}} {
+		rng1 := rand.New(rand.NewSource(61))
+		s1, tbl1 := randomSpace(t, rng1, 50)
+		c1, err := Agglomerate(s1, tbl1, AggloOptions{K: 5, Distance: dist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng2 := rand.New(rand.NewSource(61))
+		s2, tbl2 := randomSpace(t, rng2, 50)
+		c2, err := Agglomerate(s2, tbl2, AggloOptions{K: 5, Distance: dist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c1) != len(c2) {
+			t.Fatalf("non-deterministic cluster count: %d vs %d", len(c1), len(c2))
+		}
+		for i := range c1 {
+			if !c1[i].Closure.Equal(c2[i].Closure) {
+				t.Fatalf("non-deterministic closure at cluster %d", i)
+			}
+		}
+	}
+}
+
+func TestAgglomerateDiversityRipeness(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	s, tbl := randomSpace(t, rng, 40)
+	sens := make([]int, tbl.Len())
+	for i := range sens {
+		sens[i] = rng.Intn(3)
+	}
+	const k, l = 3, 2
+	for _, modified := range []bool{false, true} {
+		clusters, err := Agglomerate(s, tbl, AggloOptions{
+			K: k, Distance: D3{}, Modified: modified,
+			MinDiversity: l, Sensitive: sens,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkClustering(t, s, tbl, clusters, k)
+		for ci, c := range clusters {
+			distinct := make(map[int]bool)
+			for _, i := range c.Members {
+				distinct[sens[i]] = true
+			}
+			if len(distinct) < l {
+				t.Errorf("modified=%v: cluster %d has %d distinct sensitive values, want ≥ %d",
+					modified, ci, len(distinct), l)
+			}
+		}
+	}
+}
+
+func TestAgglomerateDiversityValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	s, tbl := randomSpace(t, rng, 10)
+	if _, err := Agglomerate(s, tbl, AggloOptions{K: 2, Distance: D3{}, MinDiversity: 2, Sensitive: []int{1}}); err == nil {
+		t.Error("expected sensitive-length error")
+	}
+	uniform := make([]int, tbl.Len())
+	if _, err := Agglomerate(s, tbl, AggloOptions{K: 2, Distance: D3{}, MinDiversity: 2, Sensitive: uniform}); err == nil {
+		t.Error("expected unattainable-diversity error")
+	}
+}
+
+func TestAgglomerateDiversityWithKOne(t *testing.T) {
+	// k=1 with a diversity requirement must still cluster (diversity is
+	// the binding constraint).
+	rng := rand.New(rand.NewSource(69))
+	s, tbl := randomSpace(t, rng, 20)
+	sens := make([]int, tbl.Len())
+	for i := range sens {
+		sens[i] = i % 2
+	}
+	clusters, err := Agglomerate(s, tbl, AggloOptions{K: 1, Distance: D2{}, MinDiversity: 2, Sensitive: sens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range clusters {
+		distinct := make(map[int]bool)
+		for _, i := range c.Members {
+			distinct[sens[i]] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("cluster %d not diverse", ci)
+		}
+	}
+}
+
+// TestAgglomerateMatchesBruteForceNN verifies the incremental
+// nearest-neighbour maintenance against a brute-force engine that rescans
+// everything each step: both must produce the identical clustering.
+func TestAgglomerateMatchesBruteForceNN(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		s, tbl := randomSpace(t, rng, 24)
+		for _, dist := range []Distance{D1{}, D2{}, D3{}, D4{}} {
+			fast, err := Agglomerate(s, tbl, AggloOptions{K: 3, Distance: dist})
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow := bruteForceAgglomerate(s, tbl, 3, dist)
+			if len(fast) != len(slow) {
+				t.Fatalf("seed %d %s: %d vs %d clusters", seed, dist.Name(), len(fast), len(slow))
+			}
+			for i := range fast {
+				if !fast[i].Closure.Equal(slow[i].Closure) {
+					t.Errorf("seed %d %s: cluster %d closure differs", seed, dist.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+// bruteForceAgglomerate reimplements Algorithm 1 with full rescans,
+// breaking ties identically (lowest first index, then lowest second index
+// in ordered-pair iteration).
+func bruteForceAgglomerate(s *Space, tbl *table.Table, k int, dist Distance) []*Cluster {
+	type node struct {
+		c     *Cluster
+		alive bool
+	}
+	var nodes []node
+	for i := 0; i < tbl.Len(); i++ {
+		nodes = append(nodes, node{s.NewSingleton(tbl, i), true})
+	}
+	live := tbl.Len()
+	var final []*Cluster
+	evald := func(a, b int) float64 {
+		ca, cb := nodes[a].c, nodes[b].c
+		u := s.MergeClosures(ca.Closure, cb.Closure)
+		return dist.Eval(ca.Size(), cb.Size(), ca.Size()+cb.Size(), ca.Cost, cb.Cost, s.Cost(u))
+	}
+	for live > 1 {
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := range nodes {
+			if !nodes[i].alive {
+				continue
+			}
+			for j := range nodes {
+				if i == j || !nodes[j].alive {
+					continue
+				}
+				if d := evald(i, j); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		m := s.Merge(nodes[bi].c, nodes[bj].c)
+		nodes[bi].alive = false
+		nodes[bj].alive = false
+		live -= 2
+		if m.Size() >= k {
+			final = append(final, m)
+		} else {
+			nodes = append(nodes, node{m, true})
+			live++
+		}
+	}
+	for i := range nodes {
+		if !nodes[i].alive {
+			continue
+		}
+		for _, ri := range nodes[i].c.Members {
+			single := s.NewSingleton(tbl, ri)
+			bf, bd := -1, math.Inf(1)
+			for fi, f := range final {
+				u := s.MergeClosures(single.Closure, f.Closure)
+				d := dist.Eval(1, f.Size(), 1+f.Size(), single.Cost, f.Cost, s.Cost(u))
+				if d < bd {
+					bf, bd = fi, d
+				}
+			}
+			f := final[bf]
+			f.Members = append(f.Members, ri)
+			s.MergeInto(f.Closure, single.Closure)
+			f.Cost = s.Cost(f.Closure)
+		}
+	}
+	return final
+}

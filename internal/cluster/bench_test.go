@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"kanon/internal/datagen"
+	"kanon/internal/loss"
+)
+
+func benchSpace(b *testing.B, n int) (*Space, *datagen.Dataset) {
+	b.Helper()
+	ds := datagen.Adult(n, 1)
+	em, err := loss.NewEntropy(ds.Table, ds.Hiers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSpace(ds.Hiers, em)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, ds
+}
+
+func BenchmarkAgglomerate500(b *testing.B) {
+	s, ds := benchSpace(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Agglomerate(s, ds.Table, AggloOptions{K: 10, Distance: D3{}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAgglomerate2000(b *testing.B) {
+	s, ds := benchSpace(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Agglomerate(s, ds.Table, AggloOptions{K: 10, Distance: D3{}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAgglomerateModified500(b *testing.B) {
+	s, ds := benchSpace(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Agglomerate(s, ds.Table, AggloOptions{K: 10, Distance: D3{}, Modified: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterMerge(b *testing.B) {
+	s, ds := benchSpace(b, 100)
+	rng := rand.New(rand.NewSource(2))
+	clusters := make([]*Cluster, 64)
+	for i := range clusters {
+		clusters[i] = s.NewCluster(ds.Table, []int{rng.Intn(100), rng.Intn(100)})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Merge(clusters[i&63], clusters[(i+7)&63])
+	}
+}
+
+func BenchmarkSpaceCost(b *testing.B) {
+	s, ds := benchSpace(b, 100)
+	cl := s.ClosureOf(ds.Table, []int{0, 1, 2, 3, 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Cost(cl)
+	}
+}
+
+func BenchmarkConsistent(b *testing.B) {
+	s, ds := benchSpace(b, 100)
+	cl := s.ClosureOf(ds.Table, []int{0, 1, 2, 3, 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Consistent(ds.Table.Records[i%100], cl)
+	}
+}

@@ -1,0 +1,178 @@
+// Package cluster provides the clustering substrate underlying the
+// agglomerative algorithms of "k-Anonymization Revisited": clusters of
+// records represented by their closures, the generalization cost d(S) of
+// eq. (7), the inter-cluster distance functions (8)–(11) of Section V-A.2,
+// and an agglomerative engine with nearest-neighbour maintenance that
+// implements Algorithm 1 and its modified variant (Algorithm 2).
+package cluster
+
+import (
+	"fmt"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/loss"
+	"kanon/internal/table"
+)
+
+// Space bundles the per-attribute hierarchies and the information-loss
+// measure, providing the closure algebra every algorithm in internal/core
+// shares: closures of record sets, closure merges (per-attribute LCA), and
+// the cluster cost d(S) = c(closure(S)).
+type Space struct {
+	Hiers   []*hierarchy.Hierarchy
+	Measure loss.Measure
+
+	// costs[j][node] materializes Measure.Cost for every hierarchy node, so
+	// the engines' inner loops are plain slice lookups.
+	costs [][]float64
+}
+
+// NewSpace validates that the hierarchies and measure agree on the number
+// of attributes and precomputes the per-node cost tables.
+func NewSpace(hiers []*hierarchy.Hierarchy, m loss.Measure) (*Space, error) {
+	if len(hiers) == 0 {
+		return nil, fmt.Errorf("cluster: no hierarchies")
+	}
+	if m.NumAttrs() != len(hiers) {
+		return nil, fmt.Errorf("cluster: measure covers %d attributes, hierarchies cover %d", m.NumAttrs(), len(hiers))
+	}
+	costs := make([][]float64, len(hiers))
+	for j, h := range hiers {
+		costs[j] = make([]float64, h.NumNodes())
+		for u := 0; u < h.NumNodes(); u++ {
+			costs[j][u] = m.Cost(j, u)
+		}
+	}
+	return &Space{Hiers: hiers, Measure: m, costs: costs}, nil
+}
+
+// CostAt returns the per-entry cost of generalizing attribute j to the
+// given hierarchy node, from the precomputed table.
+func (s *Space) CostAt(j, node int) float64 { return s.costs[j][node] }
+
+// NumAttrs returns the number of attributes r.
+func (s *Space) NumAttrs() int { return len(s.Hiers) }
+
+// LeafClosure returns the generalized record whose entries are the leaf
+// nodes of the original record — the identity generalization.
+func (s *Space) LeafClosure(r table.Record) table.GenRecord {
+	g := make(table.GenRecord, len(r))
+	for j, v := range r {
+		g[j] = s.Hiers[j].LeafOf(v)
+	}
+	return g
+}
+
+// MergeClosures returns the per-attribute LCA of two closures: the closure
+// of the union of the underlying record sets. Neither argument is modified.
+func (s *Space) MergeClosures(a, b table.GenRecord) table.GenRecord {
+	out := make(table.GenRecord, len(a))
+	for j := range a {
+		out[j] = s.Hiers[j].LCA(a[j], b[j])
+	}
+	return out
+}
+
+// MergeInto sets dst to the per-attribute LCA of dst and src, avoiding an
+// allocation in hot loops.
+func (s *Space) MergeInto(dst, src table.GenRecord) {
+	for j := range dst {
+		dst[j] = s.Hiers[j].LCA(dst[j], src[j])
+	}
+}
+
+// AddRecord returns the closure extended to also cover the original record
+// r (the record-sum R̄ + R of Section V).
+func (s *Space) AddRecord(closure table.GenRecord, r table.Record) table.GenRecord {
+	out := make(table.GenRecord, len(closure))
+	for j := range closure {
+		out[j] = s.Hiers[j].LCA(closure[j], s.Hiers[j].LeafOf(r[j]))
+	}
+	return out
+}
+
+// ClosureOf computes the closure of a set of records given by their indices
+// into tbl. It panics on an empty set.
+func (s *Space) ClosureOf(tbl *table.Table, members []int) table.GenRecord {
+	if len(members) == 0 {
+		panic("cluster: closure of empty member set")
+	}
+	g := s.LeafClosure(tbl.Records[members[0]])
+	for _, i := range members[1:] {
+		for j, v := range tbl.Records[i] {
+			g[j] = s.Hiers[j].LCA(g[j], s.Hiers[j].LeafOf(v))
+		}
+	}
+	return g
+}
+
+// Consistent reports whether the original record r is consistent with the
+// generalized record g (Definition 3.3): r(j) ∈ g(j) for every attribute.
+func (s *Space) Consistent(r table.Record, g table.GenRecord) bool {
+	for j := range r {
+		if !s.Hiers[j].Covers(g[j], r[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Cost returns c(R̄) under the space's measure: the average per-attribute
+// generalization cost of the closure.
+func (s *Space) Cost(closure table.GenRecord) float64 {
+	sum := 0.0
+	for j, node := range closure {
+		sum += s.costs[j][node]
+	}
+	return sum / float64(len(closure))
+}
+
+// Cluster is a subset of records represented by its closure. Cost caches
+// d(S) = c(closure(S)) under the space's measure.
+type Cluster struct {
+	Closure table.GenRecord
+	Members []int
+	Cost    float64
+}
+
+// NewSingleton builds the singleton cluster {R_i}.
+func (s *Space) NewSingleton(tbl *table.Table, i int) *Cluster {
+	cl := s.LeafClosure(tbl.Records[i])
+	return &Cluster{Closure: cl, Members: []int{i}, Cost: s.Cost(cl)}
+}
+
+// NewCluster builds the cluster of the given member indices.
+func (s *Space) NewCluster(tbl *table.Table, members []int) *Cluster {
+	cl := s.ClosureOf(tbl, members)
+	return &Cluster{Closure: cl, Members: append([]int(nil), members...), Cost: s.Cost(cl)}
+}
+
+// Merge returns the union cluster A ∪ B.
+func (s *Space) Merge(a, b *Cluster) *Cluster {
+	cl := s.MergeClosures(a.Closure, b.Closure)
+	members := make([]int, 0, len(a.Members)+len(b.Members))
+	members = append(members, a.Members...)
+	members = append(members, b.Members...)
+	return &Cluster{Closure: cl, Members: members, Cost: s.Cost(cl)}
+}
+
+// Size returns |S|.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// Apply writes the cluster's closure into the generalized table for every
+// member record.
+func (c *Cluster) Apply(g *table.GenTable) {
+	for _, i := range c.Members {
+		copy(g.Records[i], c.Closure)
+	}
+}
+
+// ToGenTable converts a clustering into the corresponding generalization
+// g(D): every record is replaced by the closure of its cluster.
+func ToGenTable(schema *table.Schema, n int, clusters []*Cluster) *table.GenTable {
+	g := table.NewGen(schema, n)
+	for _, c := range clusters {
+		c.Apply(g)
+	}
+	return g
+}

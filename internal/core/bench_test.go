@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"kanon/internal/cluster"
+	"kanon/internal/datagen"
+	"kanon/internal/loss"
+)
+
+func benchSpace(b *testing.B, n int) (*cluster.Space, *datagen.Dataset) {
+	b.Helper()
+	ds := datagen.Adult(n, 1)
+	em, err := loss.NewEntropy(ds.Table, ds.Hiers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := cluster.NewSpace(ds.Hiers, em)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, ds
+}
+
+func BenchmarkForest500(b *testing.B) {
+	s, ds := benchSpace(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Forest(s, ds.Table, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkK1Nearest500(b *testing.B) {
+	s, ds := benchSpace(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := K1Nearest(s, ds.Table, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkK1Expand500(b *testing.B) {
+	s, ds := benchSpace(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := K1Expand(s, ds.Table, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMake1K500(b *testing.B) {
+	s, ds := benchSpace(b, 500)
+	seed, err := K1Expand(s, ds.Table, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := seed.Clone()
+		b.StartTimer()
+		if _, err := Make1K(s, ds.Table, g, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMakeGlobal1K500(b *testing.B) {
+	s, ds := benchSpace(b, 500)
+	gkk, err := KKAnonymize(s, ds.Table, 10, K1ByExpansion)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := gkk.Clone()
+		b.StartTimer()
+		if _, _, err := MakeGlobal1K(s, ds.Table, g, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package core implements the algorithms of "k-Anonymization Revisited"
+// (Gionis, Mazza, Tassa; ICDE 2008):
+//
+//   - Algorithm 1, the basic agglomerative k-anonymizer, and Algorithm 2,
+//     its modified variant (KAnonymize, delegating to internal/cluster);
+//   - the forest algorithm of Aggarwal et al. (ICDT'05), the 3k−3
+//     approximation baseline the paper compares against (Forest);
+//   - Algorithm 3, (k,1)-anonymization by nearest neighbours (K1Nearest);
+//   - Algorithm 4, (k,1)-anonymization by greedy expansion (K1Expand);
+//   - Algorithm 5, the (1,k)-anonymizer post-pass (Make1K), whose coupling
+//     with Algorithm 3 or 4 yields a (k,k)-anonymizer (KKAnonymize);
+//   - Algorithm 6, upgrading a (k,k)-anonymization to a global
+//     (1,k)-anonymization via perfect-matching tests (MakeGlobal1K);
+//   - brute-force optimal k- and (k,1)-anonymizers for tiny inputs, used
+//     as test oracles (OptimalKAnonymize, OptimalK1).
+package core
+
+import (
+	"fmt"
+
+	"kanon/internal/cluster"
+	"kanon/internal/table"
+)
+
+// KAnonOptions configures the agglomerative k-anonymizers.
+type KAnonOptions struct {
+	// K is the anonymity parameter; every equivalence class of the output
+	// has size ≥ K.
+	K int
+	// Distance selects the inter-cluster distance of Section V-A.2;
+	// defaults to D3 (eq. 10) when nil.
+	Distance cluster.Distance
+	// Modified selects Algorithm 2 (shrink ripe clusters to exactly K).
+	Modified bool
+}
+
+// KAnonymize runs the (basic or modified) agglomerative algorithm and
+// returns the k-anonymized table together with the underlying clustering.
+func KAnonymize(s *cluster.Space, tbl *table.Table, opt KAnonOptions) (*table.GenTable, []*cluster.Cluster, error) {
+	if opt.K < 1 {
+		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
+	}
+	dist := opt.Distance
+	if dist == nil {
+		dist = cluster.D3{}
+	}
+	clusters, err := cluster.Agglomerate(s, tbl, cluster.AggloOptions{
+		K:        opt.K,
+		Distance: dist,
+		Modified: opt.Modified,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	g := cluster.ToGenTable(tbl.Schema, tbl.Len(), clusters)
+	return g, clusters, nil
+}
+
+// pairCost returns d({R_i, R_j}): the generalization cost of the closure of
+// the two records, the edge weight used by the forest algorithm and by
+// Algorithm 3.
+func pairCost(s *cluster.Space, tbl *table.Table, i, j int) float64 {
+	ri, rj := tbl.Records[i], tbl.Records[j]
+	r := s.NumAttrs()
+	sum := 0.0
+	for a := 0; a < r; a++ {
+		h := s.Hiers[a]
+		node := h.LCA(h.LeafOf(ri[a]), h.LeafOf(rj[a]))
+		sum += s.CostAt(a, node)
+	}
+	return sum / float64(r)
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kanon/internal/cluster"
+	"kanon/internal/table"
+)
+
+// KAnonymizeDiverse runs the agglomerative algorithm with the distinct
+// ℓ-diversity constraint of Machanavajjhala et al. layered on top of
+// k-anonymity — the extension Section II of the paper points at. Every
+// equivalence class of the output has size ≥ k and contains at least l
+// distinct values of sensitive.
+func KAnonymizeDiverse(s *cluster.Space, tbl *table.Table, opt KAnonOptions, l int, sensitive []int) (*table.GenTable, []*cluster.Cluster, error) {
+	if opt.K < 1 {
+		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
+	}
+	if l < 1 {
+		return nil, nil, fmt.Errorf("core: l must be ≥ 1, got %d", l)
+	}
+	dist := opt.Distance
+	if dist == nil {
+		dist = cluster.D3{}
+	}
+	clusters, err := cluster.Agglomerate(s, tbl, cluster.AggloOptions{
+		K:            opt.K,
+		Distance:     dist,
+		Modified:     opt.Modified,
+		MinDiversity: l,
+		Sensitive:    sensitive,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	g := cluster.ToGenTable(tbl.Schema, tbl.Len(), clusters)
+	return g, clusters, nil
+}
+
+// Make1KDiverse extends Algorithm 5 with a diversity requirement on
+// candidate sets: after the pass, every original record R_i is consistent
+// with at least k generalized records carrying at least l distinct
+// sensitive values. This bounds what the first adversary of Section IV-A
+// learns about the target's sensitive attribute: her candidate set is
+// never homogeneous (for l ≥ 2).
+//
+// As in Make1K, records of g are only ever widened, so a (k,1) input keeps
+// its (k,1) property and the coupling yields a diverse
+// (k,k)-anonymization. g is modified in place and returned.
+func Make1KDiverse(s *cluster.Space, tbl *table.Table, g *table.GenTable, k, l int, sensitive []int) (*table.GenTable, error) {
+	n := tbl.Len()
+	if g == nil || g.Len() != n {
+		return nil, fmt.Errorf("core: generalized table missing or wrong length (original has %d records)", n)
+	}
+	if err := checkK1Args(n, k); err != nil {
+		return nil, err
+	}
+	if l < 1 {
+		return nil, fmt.Errorf("core: l must be ≥ 1, got %d", l)
+	}
+	if len(sensitive) != n {
+		return nil, fmt.Errorf("core: %d sensitive values for %d records", len(sensitive), n)
+	}
+	distinctAll := make(map[int]bool)
+	for _, v := range sensitive {
+		distinctAll[v] = true
+	}
+	if len(distinctAll) < l {
+		return nil, fmt.Errorf("core: table has %d distinct sensitive values, %d-diversity unattainable", len(distinctAll), l)
+	}
+
+	r := s.NumAttrs()
+	for i := 0; i < n; i++ {
+		ri := tbl.Records[i]
+		for {
+			consistent := 0
+			values := make(map[int]bool)
+			for j := 0; j < n; j++ {
+				if s.Consistent(ri, g.Records[j]) {
+					consistent++
+					values[sensitive[j]] = true
+				}
+			}
+			needCount := consistent < k
+			needDiversity := len(values) < l
+			if !needCount && !needDiversity {
+				break
+			}
+			// Pick the cheapest widening among admissible candidates: when
+			// diversity is missing, restrict to records contributing a new
+			// sensitive value.
+			bestJ, bestDelta := -1, math.Inf(1)
+			for j := 0; j < n; j++ {
+				gj := g.Records[j]
+				if s.Consistent(ri, gj) {
+					continue
+				}
+				if needDiversity && values[sensitive[j]] && !needCount {
+					continue
+				}
+				sum := 0.0
+				for a := 0; a < r; a++ {
+					h := s.Hiers[a]
+					widened := h.LCA(gj[a], h.LeafOf(ri[a]))
+					sum += s.CostAt(a, widened) - s.CostAt(a, gj[a])
+				}
+				delta := sum / float64(r)
+				// Prefer diversity-contributing candidates when diversity
+				// is missing, even while counts are also short.
+				if needDiversity && !values[sensitive[j]] {
+					delta -= 1e9
+				}
+				if delta < bestDelta {
+					bestJ, bestDelta = j, delta
+				}
+			}
+			if bestJ < 0 {
+				return nil, fmt.Errorf("core: record %d cannot reach (k=%d, l=%d): no admissible widening", i, k, l)
+			}
+			gj := g.Records[bestJ]
+			for a := 0; a < r; a++ {
+				h := s.Hiers[a]
+				gj[a] = h.LCA(gj[a], h.LeafOf(ri[a]))
+			}
+		}
+	}
+	return g, nil
+}
+
+// KKAnonymizeDiverse couples a (k,1)-anonymizer with Make1KDiverse: the
+// result is a (k,k)-anonymization whose per-record candidate sets are
+// distinct l-diverse.
+func KKAnonymizeDiverse(s *cluster.Space, tbl *table.Table, k, l int, alg K1Algorithm, sensitive []int) (*table.GenTable, error) {
+	var g *table.GenTable
+	var err error
+	switch alg {
+	case K1ByNearest:
+		g, err = K1Nearest(s, tbl, k)
+	case K1ByExpansion:
+		g, err = K1Expand(s, tbl, k)
+	default:
+		return nil, fmt.Errorf("core: unknown (k,1) algorithm %d", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Make1KDiverse(s, tbl, g, k, l, sensitive)
+}
+
+// CandidateDiversity returns, for every original record, the number of
+// distinct sensitive values among the generalized records consistent with
+// it — the first adversary's residual uncertainty about the sensitive
+// attribute.
+func CandidateDiversity(s *cluster.Space, tbl *table.Table, g *table.GenTable, sensitive []int) ([]int, error) {
+	n := tbl.Len()
+	if g.Len() != n {
+		return nil, fmt.Errorf("core: generalized table has %d records, original has %d", g.Len(), n)
+	}
+	if len(sensitive) != n {
+		return nil, fmt.Errorf("core: %d sensitive values for %d records", len(sensitive), n)
+	}
+	out := make([]int, n)
+	for i, ri := range tbl.Records {
+		values := make(map[int]bool)
+		for j := 0; j < n; j++ {
+			if s.Consistent(ri, g.Records[j]) {
+				values[sensitive[j]] = true
+			}
+		}
+		out[i] = len(values)
+	}
+	return out, nil
+}
+
+// MinCandidateDiversity is the minimum of CandidateDiversity; a release is
+// candidate l-diverse iff this is ≥ l.
+func MinCandidateDiversity(s *cluster.Space, tbl *table.Table, g *table.GenTable, sensitive []int) (int, error) {
+	ds, err := CandidateDiversity(s, tbl, g, sensitive)
+	if err != nil {
+		return 0, err
+	}
+	if len(ds) == 0 {
+		return 0, nil
+	}
+	sort.Ints(ds)
+	return ds[0], nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kanon/internal/anonymity"
+	"kanon/internal/datagen"
+	"kanon/internal/loss"
+
+	"kanon/internal/cluster"
+)
+
+// sensitiveFor fabricates a sensitive attribute with v distinct values.
+func sensitiveFor(rng *rand.Rand, n, v int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(v)
+	}
+	return out
+}
+
+func TestKAnonymizeDiversePostcondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, l := range []int{2, 3} {
+		s, tbl := testSpace(t, rng, 60, "entropy")
+		sens := sensitiveFor(rng, tbl.Len(), 4)
+		const k = 4
+		g, clusters, err := KAnonymizeDiverse(s, tbl, KAnonOptions{K: k}, l, sens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !anonymity.IsKAnonymous(g, k) {
+			t.Errorf("l=%d: not k-anonymous", l)
+		}
+		ok, err := anonymity.IsDistinctLDiverse(g, sens, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("l=%d: release not distinct %d-diverse", l, l)
+		}
+		for ci, c := range clusters {
+			distinct := make(map[int]bool)
+			for _, i := range c.Members {
+				distinct[sens[i]] = true
+			}
+			if len(distinct) < l {
+				t.Errorf("l=%d: cluster %d has %d distinct sensitive values", l, ci, len(distinct))
+			}
+		}
+	}
+}
+
+func TestKAnonymizeDiverseModified(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s, tbl := testSpace(t, rng, 50, "lm")
+	sens := sensitiveFor(rng, tbl.Len(), 3)
+	const k, l = 3, 2
+	g, _, err := KAnonymizeDiverse(s, tbl, KAnonOptions{K: k, Modified: true}, l, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anonymity.IsKAnonymous(g, k) {
+		t.Error("modified diverse: not k-anonymous")
+	}
+	ok, err := anonymity.IsDistinctLDiverse(g, sens, l)
+	if err != nil || !ok {
+		t.Errorf("modified diverse: not %d-diverse (%v)", l, err)
+	}
+}
+
+func TestKAnonymizeDiverseUnattainable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s, tbl := testSpace(t, rng, 20, "lm")
+	sens := make([]int, tbl.Len()) // all identical
+	if _, _, err := KAnonymizeDiverse(s, tbl, KAnonOptions{K: 2}, 2, sens); err == nil {
+		t.Error("expected unattainable-diversity error")
+	}
+	if _, _, err := KAnonymizeDiverse(s, tbl, KAnonOptions{K: 2}, 0, sens); err == nil {
+		t.Error("expected l < 1 error")
+	}
+	if _, _, err := KAnonymizeDiverse(s, tbl, KAnonOptions{K: 0}, 2, sens); err == nil {
+		t.Error("expected k < 1 error")
+	}
+	short := []int{1, 2}
+	if _, _, err := KAnonymizeDiverse(s, tbl, KAnonOptions{K: 2}, 2, short); err == nil {
+		t.Error("expected sensitive-length error")
+	}
+}
+
+func TestKAnonymizeDiverseLOneIsPlain(t *testing.T) {
+	// l=1 must behave exactly like the plain algorithm.
+	rng1 := rand.New(rand.NewSource(43))
+	s1, tbl1 := testSpace(t, rng1, 40, "entropy")
+	sens := sensitiveFor(rand.New(rand.NewSource(1)), tbl1.Len(), 3)
+	gd, _, err := KAnonymizeDiverse(s1, tbl1, KAnonOptions{K: 4}, 1, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, _, err := KAnonymize(s1, tbl1, KAnonOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gd.Records {
+		if !gd.Records[i].Equal(gp.Records[i]) {
+			t.Fatalf("l=1 diverse differs from plain at record %d", i)
+		}
+	}
+}
+
+func TestMake1KDiversePostcondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	s, tbl := testSpace(t, rng, 40, "entropy")
+	sens := sensitiveFor(rng, tbl.Len(), 4)
+	const k, l = 4, 3
+	g, err := K1Expand(s, tbl, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Make1KDiverse(s, tbl, g, k, l, sens); err != nil {
+		t.Fatal(err)
+	}
+	if !anonymity.IsKK(s, tbl, g, k) {
+		t.Error("diverse coupling lost (k,k)")
+	}
+	minDiv, err := MinCandidateDiversity(s, tbl, g, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minDiv < l {
+		t.Errorf("min candidate diversity %d < l=%d", minDiv, l)
+	}
+}
+
+func TestKKAnonymizeDiverse(t *testing.T) {
+	ds := datagen.ART(100, 8)
+	em, err := loss.NewEntropy(ds.Table, ds.Hiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cluster.NewSpace(ds.Hiers, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, l = 4, 2
+	g, err := KKAnonymizeDiverse(s, ds.Table, k, l, K1ByExpansion, ds.Sensitive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anonymity.IsKK(s, ds.Table, g, k) {
+		t.Error("not (k,k)")
+	}
+	minDiv, err := MinCandidateDiversity(s, ds.Table, g, ds.Sensitive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minDiv < l {
+		t.Errorf("min candidate diversity %d < %d", minDiv, l)
+	}
+	// Both post-passes are greedy, so neither strictly dominates; the
+	// diverse release should still be in the same cost regime as the
+	// unconstrained one (within 50%).
+	gp, err := KKAnonymize(s, ds.Table, k, K1ByExpansion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, lp := loss.TableLoss(em, g), loss.TableLoss(em, gp)
+	if ld > lp*1.5+1e-9 || lp > ld*1.5+1e-9 {
+		t.Errorf("diverse loss %v and plain loss %v differ wildly", ld, lp)
+	}
+}
+
+func TestKKAnonymizeDiverseErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	s, tbl := testSpace(t, rng, 10, "lm")
+	sens := sensitiveFor(rng, tbl.Len(), 2)
+	if _, err := KKAnonymizeDiverse(s, tbl, 2, 2, K1Algorithm(9), sens); err == nil {
+		t.Error("expected unknown algorithm error")
+	}
+	if _, err := KKAnonymizeDiverse(s, tbl, 2, 3, K1ByExpansion, sens); err == nil {
+		t.Error("expected unattainable diversity error")
+	}
+	if _, err := Make1KDiverse(s, tbl, nil, 2, 2, sens); err == nil {
+		t.Error("expected nil/length error")
+	}
+}
+
+func TestCandidateDiversityErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	s, tbl := testSpace(t, rng, 6, "lm")
+	g, err := K1Expand(s, tbl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CandidateDiversity(s, tbl, g, []int{1}); err == nil {
+		t.Error("expected sensitive-length error")
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kanon/internal/cluster"
+	"kanon/internal/table"
+)
+
+// Forest runs the forest algorithm of Aggarwal et al. (ICDT'05), the
+// practical 3k−3-approximation baseline of the paper's experiments, and
+// returns the k-anonymized table with its clustering.
+//
+// Phase 1 grows components Borůvka-style: while any component has fewer
+// than k records, every such component acquires its minimum-weight outgoing
+// edge (weight = d({R_i, R_j}) under the space's measure) and is merged
+// with the component on the other side. The chosen edges form a forest in
+// which every tree has ≥ k nodes.
+//
+// Phase 2 decomposes oversized trees into parts of size in [k, 2k−1] by a
+// greedy post-order traversal (a root remainder smaller than k is merged
+// into the last emitted part), keeping cluster sizes — and hence the
+// closure costs the approximation guarantee charges — bounded.
+func Forest(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, []*cluster.Cluster, error) {
+	n := tbl.Len()
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", k)
+	}
+	if k > n {
+		return nil, nil, fmt.Errorf("core: k=%d exceeds table size n=%d", k, n)
+	}
+	if n == 0 {
+		return table.NewGen(tbl.Schema, 0), nil, nil
+	}
+
+	// Phase 1: component growth over the record graph.
+	parent := make([]int, n) // union-find
+	compSize := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		compSize[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	type edge struct{ u, v int }
+	var treeEdges []edge
+
+	for {
+		// Collect components below size k.
+		small := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			r := find(i)
+			if compSize[r] < k {
+				small[r] = true
+			}
+		}
+		if len(small) == 0 {
+			break
+		}
+		// One pass over all pairs: best outgoing edge per small component.
+		bestW := make(map[int]float64, len(small))
+		bestE := make(map[int]edge, len(small))
+		for r := range small {
+			bestW[r] = math.Inf(1)
+		}
+		for i := 0; i < n; i++ {
+			ri := find(i)
+			for j := i + 1; j < n; j++ {
+				rj := find(j)
+				if ri == rj {
+					continue
+				}
+				iSmall, jSmall := small[ri], small[rj]
+				if !iSmall && !jSmall {
+					continue
+				}
+				w := pairCost(s, tbl, i, j)
+				if iSmall && w < bestW[ri] {
+					bestW[ri] = w
+					bestE[ri] = edge{i, j}
+				}
+				if jSmall && w < bestW[rj] {
+					bestW[rj] = w
+					bestE[rj] = edge{j, i}
+				}
+			}
+		}
+		// Merge deterministically: process small components in ascending
+		// root order; skip those already merged this round.
+		roots := make([]int, 0, len(small))
+		for r := range small {
+			roots = append(roots, r)
+		}
+		sort.Ints(roots)
+		merged := false
+		for _, r := range roots {
+			// The component may have been merged into during this round
+			// already; re-check it is still small and its edge still
+			// crosses components.
+			ru := find(bestE[r].u)
+			rv := find(bestE[r].v)
+			if ru == rv || compSize[find(r)] >= k {
+				continue
+			}
+			treeEdges = append(treeEdges, bestE[r])
+			// Union by size.
+			if compSize[ru] < compSize[rv] {
+				ru, rv = rv, ru
+			}
+			parent[rv] = ru
+			compSize[ru] += compSize[rv]
+			merged = true
+		}
+		if !merged {
+			break // defensive: all remaining smalls had no outgoing edge
+		}
+	}
+
+	// Build the forest adjacency from the chosen tree edges.
+	adj := make([][]int, n)
+	for _, e := range treeEdges {
+		adj[e.u] = append(adj[e.u], e.v)
+		adj[e.v] = append(adj[e.v], e.u)
+	}
+
+	// Phase 2: decompose each tree into parts of size in [k, 2k−1].
+	visited := make([]bool, n)
+	var clusters []*cluster.Cluster
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		parts := partitionTree(root, adj, visited, k)
+		for _, p := range parts {
+			clusters = append(clusters, s.NewCluster(tbl, p))
+		}
+	}
+	g := cluster.ToGenTable(tbl.Schema, n, clusters)
+	return g, clusters, nil
+}
+
+// partitionTree walks the tree containing root in post-order and greedily
+// emits parts of size ≥ k (and < 2k, since each accumulated leftover is
+// < k before the final addition of another leftover that is itself < k,
+// plus possibly the current node). A final remainder smaller than k is
+// merged into the last emitted part; if the whole tree is smaller than 2k
+// it becomes a single part.
+func partitionTree(root int, adj [][]int, visited []bool, k int) [][]int {
+	var parts [][]int
+	type frame struct {
+		node, parent int
+		childIdx     int
+		leftover     []int
+	}
+	visited[root] = true
+	stack := []frame{{node: root, parent: -1}}
+	var rootLeftover []int
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		advanced := false
+		for f.childIdx < len(adj[f.node]) {
+			c := adj[f.node][f.childIdx]
+			f.childIdx++
+			if c == f.parent || visited[c] {
+				continue
+			}
+			visited[c] = true
+			stack = append(stack, frame{node: c, parent: f.node})
+			advanced = true
+			break
+		}
+		if advanced {
+			continue
+		}
+		// Leaving f.node: its own leftover starts with itself plus the
+		// leftovers handed up by children (handled below on return).
+		leftover := append(f.leftover, f.node)
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			p := &stack[len(stack)-1]
+			p.leftover = append(p.leftover, leftover...)
+			if len(p.leftover) >= k {
+				parts = append(parts, append([]int(nil), p.leftover...))
+				p.leftover = p.leftover[:0]
+			}
+		} else {
+			rootLeftover = leftover
+		}
+	}
+	if len(rootLeftover) >= k || len(parts) == 0 {
+		parts = append(parts, rootLeftover)
+	} else if len(rootLeftover) > 0 {
+		last := len(parts) - 1
+		parts[last] = append(parts[last], rootLeftover...)
+	}
+	return parts
+}

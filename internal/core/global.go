@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"kanon/internal/bipartite"
+	"kanon/internal/cluster"
+	"kanon/internal/table"
+)
+
+// Global1KStats reports what Algorithm 6 had to do, feeding the paper's
+// observation that "in almost all of our experiments, one such step was
+// sufficient" (Section V-C) and the future-work question of how close
+// (k,k)-anonymizations already are to global (1,k)-anonymity.
+type Global1KStats struct {
+	// DeficientRecords is the number of original records whose initial
+	// match count was below k.
+	DeficientRecords int
+	// GeneralizationSteps is the total number of R̄_i ← R̄_i + R_jh updates
+	// performed.
+	GeneralizationSteps int
+	// MaxStepsPerRecord is the largest number of updates any single record
+	// required.
+	MaxStepsPerRecord int
+	// InitialMinMatches is the smallest match count before the upgrade.
+	InitialMinMatches int
+}
+
+// MakeGlobal1K runs Algorithm 6: it upgrades a (k,k)-anonymization g of tbl
+// into a global (1,k)-anonymization. For every original record R_i whose
+// number of matches (edges of the consistency graph completable to a
+// perfect matching, Definition 4.6) is below k, the algorithm selects the
+// non-match neighbour R̄_jh minimizing c(R̄_i + R_jh) − c(R̄_i), where R_jh
+// is the neighbour's *original* record, and widens R̄_i ← R̄_i + R_jh. The
+// swap through the identity matching (see DESIGN.md) shows each such update
+// turns R̄_jh into a match of R_i, so the loop terminates.
+//
+// g must be a positional generalization of tbl (R̄_i generalizes R_i); this
+// is verified. g is modified in place and returned alongside the stats.
+func MakeGlobal1K(s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) (*table.GenTable, Global1KStats, error) {
+	var stats Global1KStats
+	n := tbl.Len()
+	if g.Len() != n {
+		return nil, stats, fmt.Errorf("core: generalized table has %d records, original has %d", g.Len(), n)
+	}
+	if err := checkK1Args(n, k); err != nil {
+		return nil, stats, err
+	}
+	for i := 0; i < n; i++ {
+		if !s.Consistent(tbl.Records[i], g.Records[i]) {
+			return nil, stats, fmt.Errorf("core: record %d: R̄_i does not generalize R_i; Algorithm 6 requires a positional generalization", i)
+		}
+	}
+
+	r := s.NumAttrs()
+	// cons[i][j] = R_i consistent with R̄_j. Widening R̄_i only adds
+	// consistencies, so the matrix is updated incrementally per column.
+	cons := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		cons[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			cons[i][j] = s.Consistent(tbl.Records[i], g.Records[j])
+		}
+	}
+	buildGraph := func() *bipartite.Graph {
+		gr := bipartite.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if cons[i][j] {
+					gr.AddEdge(i, j)
+				}
+			}
+		}
+		return gr
+	}
+
+	allowed, err := bipartite.AllowedEdges(buildGraph())
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: consistency graph has no perfect matching: %w", err)
+	}
+	stats.InitialMinMatches = math.MaxInt
+	for i := 0; i < n; i++ {
+		if len(allowed[i]) < stats.InitialMinMatches {
+			stats.InitialMinMatches = len(allowed[i])
+		}
+		if len(allowed[i]) < k {
+			stats.DeficientRecords++
+		}
+	}
+	if n == 0 {
+		stats.InitialMinMatches = 0
+	}
+
+	for i := 0; i < n; i++ {
+		steps := 0
+		for len(allowed[i]) < k {
+			// Non-match neighbours of R_i.
+			isMatch := make(map[int]bool, len(allowed[i]))
+			for _, v := range allowed[i] {
+				isMatch[v] = true
+			}
+			bestJ, bestDelta := -1, math.Inf(1)
+			gi := g.Records[i]
+			for j := 0; j < n; j++ {
+				if !cons[i][j] || isMatch[j] {
+					continue
+				}
+				// Widen R̄_i to also cover the neighbour's original R_j.
+				sum := 0.0
+				for a := 0; a < r; a++ {
+					h := s.Hiers[a]
+					widened := h.LCA(gi[a], h.LeafOf(tbl.Records[j][a]))
+					sum += s.CostAt(a, widened) - s.CostAt(a, gi[a])
+				}
+				if delta := sum / float64(r); delta < bestDelta {
+					bestJ, bestDelta = j, delta
+				}
+			}
+			if bestJ < 0 {
+				return nil, stats, fmt.Errorf("core: record %d has no non-match neighbour to widen towards (matches %d < k=%d)", i, len(allowed[i]), k)
+			}
+			for a := 0; a < r; a++ {
+				h := s.Hiers[a]
+				gi[a] = h.LCA(gi[a], h.LeafOf(tbl.Records[bestJ][a]))
+			}
+			// Column i of the consistency matrix may gain entries.
+			for u := 0; u < n; u++ {
+				if !cons[u][i] && s.Consistent(tbl.Records[u], gi) {
+					cons[u][i] = true
+				}
+			}
+			steps++
+			stats.GeneralizationSteps++
+			allowed, err = bipartite.AllowedEdges(buildGraph())
+			if err != nil {
+				return nil, stats, fmt.Errorf("core: perfect matching lost after widening (impossible for positional generalizations): %w", err)
+			}
+		}
+		if steps > stats.MaxStepsPerRecord {
+			stats.MaxStepsPerRecord = steps
+		}
+	}
+	return g, stats, nil
+}
+
+// GlobalAnonymize is the full global (1,k) pipeline of the paper: a
+// (k,k)-anonymization (Algorithm 4 + Algorithm 5) upgraded by Algorithm 6.
+func GlobalAnonymize(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, Global1KStats, error) {
+	g, err := KKAnonymize(s, tbl, k, K1ByExpansion)
+	if err != nil {
+		return nil, Global1KStats{}, err
+	}
+	return MakeGlobal1K(s, tbl, g, k)
+}

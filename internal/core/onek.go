@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kanon/internal/cluster"
+	"kanon/internal/table"
+)
+
+// Make1K runs Algorithm 5, the (1,k)-anonymizer: it further generalizes
+// records of g until every original record R_i is consistent with at least
+// k generalized records. For each deficient R_i (consistent with ℓ < k
+// generalized records), the k−ℓ non-consistent generalized records R̄_j
+// minimizing the marginal cost c(R_i + R̄_j) − c(R̄_j) are replaced by
+// R_i + R̄_j, the minimal generalized record covering both.
+//
+// Applied to a (k,1)-anonymization (Algorithm 3 or 4), the result is a
+// (k,k)-anonymization: further generalization cannot reduce the number of
+// original records a generalized record is consistent with, so the (k,1)
+// property is preserved while (1,k) is established. g is modified in place
+// and also returned.
+func Make1K(s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) (*table.GenTable, error) {
+	n := tbl.Len()
+	if g.Len() != n {
+		return nil, fmt.Errorf("core: generalized table has %d records, original has %d", g.Len(), n)
+	}
+	if err := checkK1Args(n, k); err != nil {
+		return nil, err
+	}
+	r := s.NumAttrs()
+	for i := 0; i < n; i++ {
+		ri := tbl.Records[i]
+		consistent := 0
+		for j := 0; j < n; j++ {
+			if s.Consistent(ri, g.Records[j]) {
+				consistent++
+			}
+		}
+		if consistent >= k {
+			continue
+		}
+		// Rank the non-consistent generalized records by the marginal cost
+		// of widening them to also cover R_i.
+		type cand struct {
+			j     int
+			delta float64
+		}
+		var cands []cand
+		for j := 0; j < n; j++ {
+			gj := g.Records[j]
+			if s.Consistent(ri, gj) {
+				continue
+			}
+			sum := 0.0
+			for a := 0; a < r; a++ {
+				h := s.Hiers[a]
+				widened := h.LCA(gj[a], h.LeafOf(ri[a]))
+				sum += s.CostAt(a, widened) - s.CostAt(a, gj[a])
+			}
+			cands = append(cands, cand{j, sum / float64(r)})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].delta != cands[b].delta {
+				return cands[a].delta < cands[b].delta
+			}
+			return cands[a].j < cands[b].j
+		})
+		need := k - consistent
+		for _, c := range cands[:need] {
+			gj := g.Records[c.j]
+			for a := 0; a < r; a++ {
+				h := s.Hiers[a]
+				gj[a] = h.LCA(gj[a], h.LeafOf(ri[a]))
+			}
+		}
+	}
+	return g, nil
+}
+
+// K1Algorithm selects which (k,1)-anonymizer seeds the (k,k) pipeline.
+type K1Algorithm int
+
+const (
+	// K1ByExpansion is Algorithm 4, the paper's empirically better choice.
+	K1ByExpansion K1Algorithm = iota
+	// K1ByNearest is Algorithm 3, the (k−1)-approximation.
+	K1ByNearest
+)
+
+// String implements fmt.Stringer.
+func (a K1Algorithm) String() string {
+	switch a {
+	case K1ByExpansion:
+		return "expansion"
+	case K1ByNearest:
+		return "nearest"
+	default:
+		return fmt.Sprintf("K1Algorithm(%d)", int(a))
+	}
+}
+
+// KKAnonymize produces a (k,k)-anonymization by coupling a
+// (k,1)-anonymizer (Algorithm 3 or 4) with the (1,k)-anonymizer
+// (Algorithm 5), as prescribed in Section V-B.
+func KKAnonymize(s *cluster.Space, tbl *table.Table, k int, alg K1Algorithm) (*table.GenTable, error) {
+	var g *table.GenTable
+	var err error
+	switch alg {
+	case K1ByNearest:
+		g, err = K1Nearest(s, tbl, k)
+	case K1ByExpansion:
+		g, err = K1Expand(s, tbl, k)
+	default:
+		return nil, fmt.Errorf("core: unknown (k,1) algorithm %d", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Make1K(s, tbl, g, k)
+}

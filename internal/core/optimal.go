@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"kanon/internal/cluster"
+	"kanon/internal/table"
+)
+
+// OptimalKAnonymize exhaustively searches all partitions of the records
+// into clusters of size ≥ k and returns one minimizing the clustering cost
+// Σ |S|·d(S) of eq. (7) — i.e. the optimal k-anonymization achievable by
+// any clustering-based local recoding. It is exponential in n and intended
+// as a test oracle for n ≲ 10.
+func OptimalKAnonymize(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, float64, error) {
+	n := tbl.Len()
+	if err := checkK1Args(n, k); err != nil {
+		return nil, 0, err
+	}
+	if n > 14 {
+		return nil, 0, fmt.Errorf("core: OptimalKAnonymize is an oracle for tiny inputs; n=%d is too large", n)
+	}
+	var best []*cluster.Cluster
+	bestCost := math.Inf(1)
+	assign := make([]int, n) // cluster id of each record; -1 unassigned
+	for i := range assign {
+		assign[i] = -1
+	}
+	var blocks [][]int
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			total := 0.0
+			cls := make([]*cluster.Cluster, len(blocks))
+			for bi, b := range blocks {
+				if len(b) < k {
+					return
+				}
+				cls[bi] = s.NewCluster(tbl, b)
+				total += float64(cls[bi].Size()) * cls[bi].Cost
+			}
+			if total < bestCost {
+				bestCost = total
+				best = cls
+			}
+			return
+		}
+		// Place record i into an existing block or a new one. Restricting
+		// record 0 to block 0, record in block b only if blocks 0..b-1 are
+		// non-empty etc. avoids counting permutations of blocks.
+		for bi := range blocks {
+			blocks[bi] = append(blocks[bi], i)
+			rec(i + 1)
+			blocks[bi] = blocks[bi][:len(blocks[bi])-1]
+		}
+		blocks = append(blocks, []int{i})
+		rec(i + 1)
+		blocks = blocks[:len(blocks)-1]
+	}
+	rec(0)
+	if best == nil {
+		return nil, 0, fmt.Errorf("core: no feasible partition (n=%d, k=%d)", n, k)
+	}
+	g := cluster.ToGenTable(tbl.Schema, n, best)
+	return g, bestCost / float64(n), nil
+}
+
+// OptimalK1 exhaustively computes the optimal (k,1)-anonymization described
+// at the start of Section V-B.1: for every record R_i it finds the
+// (k−1)-subset of other records minimizing d({R_i} ∪ subset) and sets R̄_i
+// to that closure. Runtime is O(n·C(n−1, k−1)); intended as a test oracle.
+func OptimalK1(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, error) {
+	n := tbl.Len()
+	if err := checkK1Args(n, k); err != nil {
+		return nil, err
+	}
+	g := table.NewGen(tbl.Schema, n)
+	for i := 0; i < n; i++ {
+		others := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				others = append(others, j)
+			}
+		}
+		bestCost := math.Inf(1)
+		var bestClosure table.GenRecord
+		subset := make([]int, k-1)
+		var choose func(start, depth int)
+		choose = func(start, depth int) {
+			if depth == k-1 {
+				members := append([]int{i}, subset...)
+				cl := s.ClosureOf(tbl, members)
+				if c := s.Cost(cl); c < bestCost {
+					bestCost = c
+					bestClosure = cl
+				}
+				return
+			}
+			for x := start; x < len(others); x++ {
+				subset[depth] = others[x]
+				choose(x+1, depth+1)
+			}
+		}
+		if k == 1 {
+			bestClosure = s.LeafClosure(tbl.Records[i])
+		} else {
+			choose(0, 0)
+		}
+		copy(g.Records[i], bestClosure)
+	}
+	return g, nil
+}

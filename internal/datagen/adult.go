@@ -1,0 +1,278 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/table"
+)
+
+// Adult generates the ADT dataset: a synthetic stand-in for the UCI Adult
+// census sample over the paper's nine public attributes — age, work-class,
+// education-level, marital-status, occupation, family-relationship, race,
+// sex and native-country. Marginals approximate the published Adult
+// marginals; marital status is sampled conditionally on age and
+// relationship conditionally on marital status and sex, giving the
+// record-level correlation structure the agglomerative algorithms exploit.
+// The sensitive attribute is the income class (<=50K / >50K), sampled with
+// a probability increasing in age band and education.
+func Adult(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+
+	// age: 17..96, i.e. 80 values, so the 5/10/20-year interval hierarchy
+	// tiles exactly.
+	const ageLo, ageCount = 17, 80
+	ageValues := make([]string, ageCount)
+	for i := range ageValues {
+		ageValues[i] = itoa(ageLo + i)
+	}
+	// Piecewise-linear age profile peaking in the mid-30s, thinning past 60.
+	ageWeights := make([]float64, ageCount)
+	for i := range ageWeights {
+		age := ageLo + i
+		switch {
+		case age < 25:
+			ageWeights[i] = 0.5 + 0.1*float64(age-17)
+		case age < 40:
+			ageWeights[i] = 1.3
+		case age < 60:
+			ageWeights[i] = 1.3 - 0.04*float64(age-40)
+		default:
+			ageWeights[i] = 0.5 * ageDecay(age)
+		}
+	}
+
+	workclass := []string{
+		"Private", "Self-emp-not-inc", "Self-emp-inc",
+		"Federal-gov", "Local-gov", "State-gov",
+		"Without-pay", "Never-worked",
+	}
+	workWeights := []float64{0.737, 0.082, 0.036, 0.031, 0.068, 0.042, 0.002, 0.002}
+
+	education := []string{
+		"Preschool", "1st-4th", "5th-6th", "7th-8th", "9th", "10th",
+		"11th", "12th", "HS-grad", "Some-college", "Assoc-voc",
+		"Assoc-acdm", "Bachelors", "Masters", "Prof-school", "Doctorate",
+	}
+	eduWeights := []float64{
+		0.002, 0.005, 0.011, 0.020, 0.016, 0.029,
+		0.037, 0.013, 0.322, 0.223, 0.042,
+		0.033, 0.164, 0.054, 0.018, 0.013,
+	}
+
+	marital := []string{
+		"Never-married", "Married-civ-spouse", "Married-spouse-absent",
+		"Married-AF-spouse", "Divorced", "Separated", "Widowed",
+	}
+
+	occupation := []string{
+		"Adm-clerical", "Exec-managerial", "Prof-specialty", "Tech-support", "Sales",
+		"Craft-repair", "Machine-op-inspct", "Transport-moving", "Handlers-cleaners", "Farming-fishing",
+		"Other-service", "Protective-serv", "Priv-house-serv", "Armed-Forces",
+	}
+	occWeights := []float64{
+		0.124, 0.134, 0.136, 0.031, 0.120,
+		0.135, 0.066, 0.053, 0.045, 0.033,
+		0.108, 0.021, 0.005, 0.001,
+	}
+
+	relationship := []string{
+		"Husband", "Wife", "Own-child", "Not-in-family", "Other-relative", "Unmarried",
+	}
+
+	race := []string{"White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"}
+	raceWeights := []float64{0.854, 0.096, 0.031, 0.010, 0.009}
+
+	sex := []string{"Male", "Female"}
+
+	country := []string{
+		"United-States", "Mexico", "Canada", "Puerto-Rico", "Cuba", "El-Salvador",
+		"Germany", "England", "Poland", "Italy",
+		"Philippines", "India", "China", "Japan", "Vietnam",
+	}
+	countryWeights := []float64{
+		0.897, 0.020, 0.004, 0.006, 0.004, 0.004,
+		0.005, 0.003, 0.002, 0.002,
+		0.007, 0.004, 0.003, 0.002, 0.003,
+	}
+
+	attrs := []*table.Attribute{
+		table.MustAttribute("age", ageValues),
+		table.MustAttribute("workclass", workclass),
+		table.MustAttribute("education", education),
+		table.MustAttribute("marital-status", marital),
+		table.MustAttribute("occupation", occupation),
+		table.MustAttribute("relationship", relationship),
+		table.MustAttribute("race", race),
+		table.MustAttribute("sex", sex),
+		table.MustAttribute("native-country", country),
+	}
+	schema := table.MustSchema(attrs...)
+
+	ageHier, err := hierarchy.Intervals(ageCount, []int{5, 10, 20}, "*")
+	if err != nil {
+		panic(err)
+	}
+	relabelRanges(ageHier, func(id int) string { return ageValues[id] })
+	hiers := []*hierarchy.Hierarchy{
+		ageHier,
+		hierarchy.MustFromSubsets(len(workclass), []hierarchy.Subset{
+			{Values: []int{1, 2}, Label: "Self-employed"},
+			{Values: []int{3, 4, 5}, Label: "Government"},
+			{Values: []int{6, 7}, Label: "Unpaid"},
+		}, "*"),
+		// Section VI: education-level divided into high-school, college and
+		// advanced-degrees; we add a sub-split of the school group.
+		hierarchy.MustFromSubsets(len(education), []hierarchy.Subset{
+			{Values: rangeSubset(0, 3), Label: "Elementary"},
+			{Values: rangeSubset(4, 8), Label: "Secondary"},
+			{Values: rangeSubset(0, 8), Label: "High-school"},
+			{Values: rangeSubset(9, 12), Label: "College"},
+			{Values: rangeSubset(13, 15), Label: "Advanced"},
+		}, "*"),
+		hierarchy.MustFromSubsets(len(marital), []hierarchy.Subset{
+			{Values: []int{1, 2, 3}, Label: "Married"},
+			{Values: []int{4, 5}, Label: "Broken-union"},
+			{Values: []int{0, 6}, Label: "Single"},
+		}, "*"),
+		hierarchy.MustFromSubsets(len(occupation), []hierarchy.Subset{
+			{Values: rangeSubset(0, 4), Label: "White-collar"},
+			{Values: rangeSubset(5, 9), Label: "Blue-collar"},
+			{Values: rangeSubset(10, 13), Label: "Service"},
+		}, "*"),
+		hierarchy.MustFromSubsets(len(relationship), []hierarchy.Subset{
+			{Values: []int{0, 1}, Label: "Spouse"},
+			{Values: []int{3, 5}, Label: "No-family"},
+			{Values: []int{2, 4}, Label: "Relative"},
+		}, "*"),
+		hierarchy.MustFromSubsets(len(race), []hierarchy.Subset{
+			{Values: []int{2, 3, 4}, Label: "Other-race"},
+		}, "*"),
+		hierarchy.MustFromSubsets(len(sex), nil, "*"),
+		hierarchy.MustFromSubsets(len(country), []hierarchy.Subset{
+			{Values: []int{0, 1, 2, 3, 4, 5}, Label: "Americas"},
+			{Values: []int{6, 7, 8, 9}, Label: "Europe"},
+			{Values: []int{10, 11, 12, 13, 14}, Label: "Asia"},
+		}, "*"),
+	}
+
+	ageS := newSampler(ageWeights)
+	workS := newSampler(workWeights)
+	eduS := newSampler(eduWeights)
+	occS := newSampler(occWeights)
+	raceS := newSampler(raceWeights)
+	countryS := newSampler(countryWeights)
+
+	// Marital status conditioned on age band.
+	maritalYoung := newSampler([]float64{0.78, 0.15, 0.01, 0.002, 0.04, 0.015, 0.003})
+	maritalMid := newSampler([]float64{0.22, 0.55, 0.015, 0.003, 0.15, 0.04, 0.02})
+	maritalOld := newSampler([]float64{0.06, 0.58, 0.01, 0.002, 0.17, 0.03, 0.15})
+
+	tbl := table.New(schema)
+	sensitive := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		rec := make(table.Record, len(attrs))
+		ageID := ageS.draw(rng)
+		age := ageLo + ageID
+		rec[0] = ageID
+		rec[1] = workS.draw(rng)
+		rec[2] = eduS.draw(rng)
+		switch {
+		case age < 28:
+			rec[3] = maritalYoung.draw(rng)
+		case age < 55:
+			rec[3] = maritalMid.draw(rng)
+		default:
+			rec[3] = maritalOld.draw(rng)
+		}
+		rec[4] = occS.draw(rng)
+		sexID := 0
+		if rng.Float64() < 0.331 {
+			sexID = 1
+		}
+		rec[7] = sexID
+		rec[5] = drawRelationship(rng, rec[3], sexID)
+		rec[6] = raceS.draw(rng)
+		rec[8] = countryS.draw(rng)
+		tbl.MustAppend(rec)
+
+		// Income class: base rate ~24% >50K, boosted by education and age.
+		p := 0.10
+		if rec[2] >= 12 { // Bachelors+
+			p += 0.25
+		} else if rec[2] >= 9 { // some college
+			p += 0.10
+		}
+		if age >= 35 && age < 60 {
+			p += 0.12
+		}
+		if rec[3] == 1 { // married-civ-spouse
+			p += 0.10
+		}
+		cls := 0
+		if rng.Float64() < p {
+			cls = 1
+		}
+		sensitive = append(sensitive, cls)
+	}
+	return &Dataset{
+		Name:            "ADT",
+		Table:           tbl,
+		Hiers:           hiers,
+		Sensitive:       sensitive,
+		SensitiveName:   "income",
+		SensitiveValues: []string{"<=50K", ">50K"},
+	}
+}
+
+// drawRelationship samples the family-relationship attribute conditioned on
+// marital status and sex, mirroring the deterministic structure of the real
+// Adult data (married men are husbands, married women are wives).
+func drawRelationship(rng *rand.Rand, maritalID, sexID int) int {
+	married := maritalID >= 1 && maritalID <= 3
+	if married {
+		if rng.Float64() < 0.92 {
+			if sexID == 0 {
+				return 0 // Husband
+			}
+			return 1 // Wife
+		}
+		return 4 // Other-relative
+	}
+	x := rng.Float64()
+	switch {
+	case x < 0.30:
+		return 2 // Own-child
+	case x < 0.75:
+		return 3 // Not-in-family
+	case x < 0.85:
+		return 4 // Other-relative
+	default:
+		return 5 // Unmarried
+	}
+}
+
+// ageDecay thins the tail of the age distribution past 60.
+func ageDecay(age int) float64 {
+	d := 1.0 - float64(age-60)/45.0
+	if d < 0.05 {
+		d = 0.05
+	}
+	return d
+}
+
+// itoa converts small non-negative ints without pulling in strconv at every
+// call site.
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for x > 0 {
+		i--
+		buf[i] = byte('0' + x%10)
+		x /= 10
+	}
+	return string(buf[i:])
+}

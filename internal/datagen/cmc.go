@@ -1,0 +1,174 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/table"
+)
+
+// CMC generates the CMC dataset: a synthetic stand-in for the paper's
+// subset of the 1987 National Indonesia Contraceptive Prevalence Survey.
+// The nine public attributes mirror the UCI schema — wife's age, wife's and
+// husband's education (ordinal 1..4), number of children, wife's religion,
+// wife's employment, husband's occupation (1..4), standard-of-living index
+// (1..4), and media exposure. The sensitive attribute is the survey's class
+// label: the contraceptive method chosen (no-use / long-term / short-term),
+// sampled conditionally on age, education and number of children.
+func CMC(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Wife's age: 16..47, so 32 values and a 4/8/16-year interval
+	// hierarchy tiles exactly.
+	const ageLo, ageCount = 16, 32
+	ageValues := make([]string, ageCount)
+	ageWeights := make([]float64, ageCount)
+	for i := range ageValues {
+		age := ageLo + i
+		ageValues[i] = itoa(age)
+		// Survey population concentrates in the mid-20s to mid-30s.
+		switch {
+		case age < 22:
+			ageWeights[i] = 0.5 + 0.12*float64(age-16)
+		case age < 36:
+			ageWeights[i] = 1.2
+		default:
+			ageWeights[i] = 1.2 - 0.07*float64(age-36)
+		}
+	}
+
+	ord4 := []string{"1", "2", "3", "4"}
+	children := []string{"0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12"}
+
+	attrs := []*table.Attribute{
+		table.MustAttribute("wife-age", ageValues),
+		table.MustAttribute("wife-education", ord4),
+		table.MustAttribute("husband-education", ord4),
+		table.MustAttribute("num-children", children),
+		table.MustAttribute("wife-religion", []string{"non-Islam", "Islam"}),
+		table.MustAttribute("wife-working", []string{"yes", "no"}),
+		table.MustAttribute("husband-occupation", ord4),
+		table.MustAttribute("living-standard", ord4),
+		table.MustAttribute("media-exposure", []string{"good", "not-good"}),
+	}
+	schema := table.MustSchema(attrs...)
+
+	ageHier, err := hierarchy.Intervals(ageCount, []int{4, 8, 16}, "*")
+	if err != nil {
+		panic(err)
+	}
+	relabelRanges(ageHier, func(id int) string { return ageValues[id] })
+	ord4Hier := func() *hierarchy.Hierarchy {
+		return hierarchy.MustFromSubsets(4, []hierarchy.Subset{
+			{Values: []int{0, 1}, Label: "low"},
+			{Values: []int{2, 3}, Label: "high"},
+		}, "*")
+	}
+	childHier, err := hierarchy.Levels(len(children), [][][]int{
+		{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {9, 10, 11, 12}},
+	}, "*")
+	if err != nil {
+		panic(err)
+	}
+	relabelRanges(childHier, func(id int) string { return children[id] })
+	hiers := []*hierarchy.Hierarchy{
+		ageHier,
+		ord4Hier(),
+		ord4Hier(),
+		childHier,
+		hierarchy.MustFromSubsets(2, nil, "*"),
+		hierarchy.MustFromSubsets(2, nil, "*"),
+		ord4Hier(),
+		ord4Hier(),
+		hierarchy.MustFromSubsets(2, nil, "*"),
+	}
+
+	ageS := newSampler(ageWeights)
+	wifeEduS := newSampler([]float64{0.10, 0.22, 0.28, 0.40})
+	husbEduS := newSampler([]float64{0.03, 0.12, 0.24, 0.61})
+	husbOccS := newSampler([]float64{0.30, 0.29, 0.39, 0.02})
+	livingS := newSampler([]float64{0.09, 0.16, 0.29, 0.46})
+
+	tbl := table.New(schema)
+	sensitive := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		rec := make(table.Record, len(attrs))
+		ageID := ageS.draw(rng)
+		age := ageLo + ageID
+		rec[0] = ageID
+		rec[1] = wifeEduS.draw(rng)
+		rec[2] = husbEduS.draw(rng)
+		rec[3] = drawChildren(rng, age)
+		rec[4] = 0
+		if rng.Float64() < 0.85 {
+			rec[4] = 1 // Islam
+		}
+		rec[5] = 0
+		if rng.Float64() < 0.75 {
+			rec[5] = 1 // not working
+		}
+		rec[6] = husbOccS.draw(rng)
+		rec[7] = livingS.draw(rng)
+		rec[8] = 0
+		if rng.Float64() < 0.074 {
+			rec[8] = 1 // not-good exposure
+		}
+		tbl.MustAppend(rec)
+		sensitive = append(sensitive, drawMethod(rng, age, rec[1], rec[3]))
+	}
+	return &Dataset{
+		Name:            "CMC",
+		Table:           tbl,
+		Hiers:           hiers,
+		Sensitive:       sensitive,
+		SensitiveName:   "contraceptive-method",
+		SensitiveValues: []string{"no-use", "long-term", "short-term"},
+	}
+}
+
+// drawChildren samples the number of living children conditioned on the
+// wife's age.
+func drawChildren(rng *rand.Rand, age int) int {
+	mean := 0.35 * float64(age-16)
+	if mean > 6 {
+		mean = 6
+	}
+	// Poisson-ish via a capped geometric mixture; cheap and adequate.
+	x := 0
+	for x < 12 {
+		if rng.Float64() > mean/(mean+1.3) {
+			break
+		}
+		x++
+	}
+	return x
+}
+
+// drawMethod samples the contraceptive-method class — the UCI CMC target —
+// with probabilities shifted by age, education and parity, echoing the real
+// survey's dependencies.
+func drawMethod(rng *rand.Rand, age, wifeEdu, children int) int {
+	// Base proportions roughly match the UCI class balance:
+	// 42.7% no-use, 22.6% long-term, 34.7% short-term.
+	noUse, long := 0.43, 0.22
+	if wifeEdu >= 2 {
+		noUse -= 0.08
+		long += 0.05
+	}
+	if children == 0 {
+		noUse += 0.30
+	}
+	if age >= 40 {
+		noUse += 0.10
+		long += 0.05
+	}
+	x := rng.Float64()
+	switch {
+	case x < noUse:
+		return 0
+	case x < noUse+long:
+		return 1
+	default:
+		return 2
+	}
+}

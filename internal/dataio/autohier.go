@@ -1,0 +1,111 @@
+package dataio
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/table"
+)
+
+// AutoHierarchies builds a generalization hierarchy per attribute without
+// a hand-written spec: attributes whose every value parses as an integer
+// get interval hierarchies over the sorted value order (doubling bucket
+// widths starting at baseWidth, up to the domain size), and all other
+// attributes get the trivial suppress-only hierarchy. It gives CSV users
+// a sane starting point before they invest in semantic hierarchies.
+//
+// baseWidth must be ≥ 2; 4 is a reasonable default. The number of levels
+// is capped so hierarchies stay shallow (at most 4 interval levels).
+func AutoHierarchies(tbl *table.Table, baseWidth int) ([]*hierarchy.Hierarchy, error) {
+	if baseWidth < 2 {
+		return nil, fmt.Errorf("dataio: baseWidth must be ≥ 2, got %d", baseWidth)
+	}
+	hiers := make([]*hierarchy.Hierarchy, tbl.Schema.NumAttrs())
+	for j, attr := range tbl.Schema.Attrs {
+		if order, ok := numericOrder(attr); ok && attr.Size() > baseWidth {
+			h, err := intervalsOverOrder(attr.Size(), order, baseWidth)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: attribute %q: %w", attr.Name, err)
+			}
+			hiers[j] = h
+			continue
+		}
+		hiers[j] = hierarchy.Flat(attr.Size())
+	}
+	return hiers, nil
+}
+
+// numericOrder reports whether every domain value parses as an integer;
+// if so it returns the value ids sorted by numeric value.
+func numericOrder(attr *table.Attribute) ([]int, bool) {
+	type pair struct {
+		id  int
+		num int64
+	}
+	pairs := make([]pair, attr.Size())
+	for id, v := range attr.Values {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, false
+		}
+		pairs[id] = pair{id, n}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].num != pairs[b].num {
+			return pairs[a].num < pairs[b].num
+		}
+		return pairs[a].id < pairs[b].id
+	})
+	order := make([]int, len(pairs))
+	for i, p := range pairs {
+		order[i] = p.id
+	}
+	return order, true
+}
+
+// intervalsOverOrder builds interval subsets over an arbitrary value
+// ordering: position runs of width baseWidth, 2·baseWidth, 4·baseWidth...
+// capped at 4 levels or the domain size.
+func intervalsOverOrder(numValues int, order []int, baseWidth int) (*hierarchy.Hierarchy, error) {
+	var subsets []hierarchy.Subset
+	width := baseWidth
+	for level := 0; level < 4 && width < numValues; level++ {
+		for start := 0; start < numValues; start += width {
+			end := start + width
+			if end > numValues {
+				end = numValues
+			}
+			if end-start <= 1 || end-start >= numValues {
+				continue
+			}
+			vals := make([]int, 0, end-start)
+			for p := start; p < end; p++ {
+				vals = append(vals, order[p])
+			}
+			subsets = append(subsets, hierarchy.Subset{Values: vals})
+		}
+		width *= 2
+	}
+	subsets = dedupeAutoSubsets(subsets)
+	return hierarchy.FromSubsets(numValues, subsets, "*")
+}
+
+// dedupeAutoSubsets removes duplicate subsets (a wider bucket can coincide
+// with a truncated narrower one at the tail).
+func dedupeAutoSubsets(subsets []hierarchy.Subset) []hierarchy.Subset {
+	seen := make(map[string]bool)
+	out := subsets[:0]
+	for _, s := range subsets {
+		vs := append([]int(nil), s.Values...)
+		sort.Ints(vs)
+		key := fmt.Sprint(vs)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+// Package dataio reads and writes kanon's data artifacts: CSV tables
+// (original and generalized) and JSON generalization-hierarchy
+// specifications. It is the bridge for plugging real datasets — e.g. the
+// actual UCI Adult file — into the algorithms in place of the synthetic
+// generators.
+package dataio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/table"
+)
+
+// ReadCSV parses a CSV stream into a table. When header is true the first
+// row supplies attribute names; otherwise attributes are named col1..colr.
+// Attribute domains are built from the data, values ordered by first
+// appearance. Every row must have the same number of fields.
+func ReadCSV(r io.Reader, header bool) (*table.Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: reading CSV: %w", err)
+	}
+	// Drop rows whose every field is blank after trimming: encoding/csv
+	// skips truly blank lines itself, and an all-whitespace row could not
+	// round-trip through WriteCSV anyway.
+	kept := rows[:0]
+	for _, row := range rows {
+		empty := true
+		for _, v := range row {
+			if strings.TrimSpace(v) != "" {
+				empty = false
+				break
+			}
+		}
+		if !empty {
+			kept = append(kept, row)
+		}
+	}
+	rows = kept
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataio: empty CSV input")
+	}
+	var names []string
+	if header {
+		names = rows[0]
+		rows = rows[1:]
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("dataio: CSV has a header but no data rows")
+		}
+	} else {
+		names = make([]string, len(rows[0]))
+		for j := range names {
+			names[j] = fmt.Sprintf("col%d", j+1)
+		}
+	}
+	nAttrs := len(names)
+	// Collect domains in first-appearance order.
+	domains := make([][]string, nAttrs)
+	seen := make([]map[string]bool, nAttrs)
+	for j := range seen {
+		seen[j] = make(map[string]bool)
+	}
+	for ri, row := range rows {
+		if len(row) != nAttrs {
+			return nil, fmt.Errorf("dataio: row %d has %d fields, expected %d", ri+1, len(row), nAttrs)
+		}
+		for j, v := range row {
+			v = strings.TrimSpace(v)
+			if !seen[j][v] {
+				seen[j][v] = true
+				domains[j] = append(domains[j], v)
+			}
+		}
+	}
+	attrs := make([]*table.Attribute, nAttrs)
+	for j := range attrs {
+		a, err := table.NewAttribute(names[j], domains[j])
+		if err != nil {
+			return nil, err
+		}
+		attrs[j] = a
+	}
+	schema, err := table.NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	tbl := table.New(schema)
+	for _, row := range rows {
+		vals := make([]string, nAttrs)
+		for j, v := range row {
+			vals[j] = strings.TrimSpace(v)
+		}
+		if err := tbl.AppendValues(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func WriteCSV(w io.Writer, tbl *table.Table) error {
+	cw := csv.NewWriter(w)
+	names := make([]string, tbl.Schema.NumAttrs())
+	for j, a := range tbl.Schema.Attrs {
+		names[j] = a.Name
+	}
+	if err := cw.Write(names); err != nil {
+		return err
+	}
+	for i := range tbl.Records {
+		if err := cw.Write(tbl.Strings(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// GenValueString renders a generalized entry: the plain value for a leaf,
+// the subset label when one is set, and otherwise a braced value list
+// ("{30,31,...,39}" style, abbreviated past eight values).
+func GenValueString(a *table.Attribute, h *hierarchy.Hierarchy, node int) string {
+	if h.IsLeaf(node) {
+		return a.Value(h.ValueOf(node))
+	}
+	if node == h.Root() {
+		if l := h.Label(node); l != "" && !strings.HasPrefix(l, "node") {
+			return l
+		}
+		return "*"
+	}
+	if l := h.Label(node); l != "" && !strings.HasPrefix(l, "node") {
+		return l
+	}
+	leaves := h.Leaves(node)
+	parts := make([]string, 0, len(leaves))
+	if len(leaves) > 8 {
+		for _, v := range leaves[:3] {
+			parts = append(parts, a.Value(v))
+		}
+		parts = append(parts, "...")
+		parts = append(parts, a.Value(leaves[len(leaves)-1]))
+	} else {
+		for _, v := range leaves {
+			parts = append(parts, a.Value(v))
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteGenCSV writes a generalized table as CSV with a header row,
+// rendering entries via GenValueString.
+func WriteGenCSV(w io.Writer, g *table.GenTable, hiers []*hierarchy.Hierarchy) error {
+	if len(hiers) != g.Schema.NumAttrs() {
+		return fmt.Errorf("dataio: %d hierarchies for %d attributes", len(hiers), g.Schema.NumAttrs())
+	}
+	cw := csv.NewWriter(w)
+	names := make([]string, g.Schema.NumAttrs())
+	for j, a := range g.Schema.Attrs {
+		names[j] = a.Name
+	}
+	if err := cw.Write(names); err != nil {
+		return err
+	}
+	row := make([]string, g.Schema.NumAttrs())
+	for _, rec := range g.Records {
+		for j, node := range rec {
+			row[j] = GenValueString(g.Schema.Attrs[j], hiers[j], node)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SubsetSpec is one permissible subset in a JSON hierarchy specification.
+type SubsetSpec struct {
+	Label  string   `json:"label,omitempty"`
+	Values []string `json:"values"`
+}
+
+// AttrSpec is the hierarchy specification of one attribute. Attributes
+// missing from a HierarchySpec get the trivial (suppress-only) hierarchy.
+type AttrSpec struct {
+	Attribute string       `json:"attribute"`
+	Subsets   []SubsetSpec `json:"subsets"`
+}
+
+// HierarchySpec is the JSON document format: one entry per attribute that
+// has non-trivial permissible subsets.
+type HierarchySpec struct {
+	Attributes []AttrSpec `json:"attributes"`
+}
+
+// LoadHierarchies parses a JSON hierarchy specification and builds one
+// hierarchy per schema attribute (trivial for unmentioned attributes).
+func LoadHierarchies(r io.Reader, schema *table.Schema) ([]*hierarchy.Hierarchy, error) {
+	var spec HierarchySpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("dataio: parsing hierarchy spec: %w", err)
+	}
+	byName := make(map[string]AttrSpec, len(spec.Attributes))
+	for _, as := range spec.Attributes {
+		if schema.AttrIndex(as.Attribute) < 0 {
+			return nil, fmt.Errorf("dataio: hierarchy spec names unknown attribute %q", as.Attribute)
+		}
+		if _, dup := byName[as.Attribute]; dup {
+			return nil, fmt.Errorf("dataio: hierarchy spec repeats attribute %q", as.Attribute)
+		}
+		byName[as.Attribute] = as
+	}
+	hiers := make([]*hierarchy.Hierarchy, schema.NumAttrs())
+	for j, attr := range schema.Attrs {
+		as, ok := byName[attr.Name]
+		if !ok {
+			hiers[j] = hierarchy.Flat(attr.Size())
+			continue
+		}
+		subsets := make([]hierarchy.Subset, 0, len(as.Subsets))
+		for si, ss := range as.Subsets {
+			ids := make([]int, 0, len(ss.Values))
+			for _, v := range ss.Values {
+				id, err := attr.ValueID(v)
+				if err != nil {
+					return nil, fmt.Errorf("dataio: attribute %q subset %d: %w", attr.Name, si, err)
+				}
+				ids = append(ids, id)
+			}
+			subsets = append(subsets, hierarchy.Subset{Values: ids, Label: ss.Label})
+		}
+		h, err := hierarchy.FromSubsets(attr.Size(), subsets, "*")
+		if err != nil {
+			return nil, fmt.Errorf("dataio: attribute %q: %w", attr.Name, err)
+		}
+		hiers[j] = h
+	}
+	return hiers, nil
+}
+
+// SaveHierarchies serializes hierarchies into the JSON specification
+// format, listing every non-trivial internal node of each attribute.
+func SaveHierarchies(w io.Writer, schema *table.Schema, hiers []*hierarchy.Hierarchy) error {
+	if len(hiers) != schema.NumAttrs() {
+		return fmt.Errorf("dataio: %d hierarchies for %d attributes", len(hiers), schema.NumAttrs())
+	}
+	var spec HierarchySpec
+	for j, h := range hiers {
+		attr := schema.Attrs[j]
+		var subsets []SubsetSpec
+		for u := h.NumValues(); u < h.NumNodes(); u++ {
+			if u == h.Root() {
+				continue
+			}
+			leaves := h.Leaves(u)
+			values := make([]string, len(leaves))
+			for i, v := range leaves {
+				values[i] = attr.Value(v)
+			}
+			label := h.Label(u)
+			if strings.HasPrefix(label, "node") {
+				label = ""
+			}
+			subsets = append(subsets, SubsetSpec{Label: label, Values: values})
+		}
+		if len(subsets) == 0 {
+			continue
+		}
+		sort.Slice(subsets, func(a, b int) bool {
+			if len(subsets[a].Values) != len(subsets[b].Values) {
+				return len(subsets[a].Values) > len(subsets[b].Values)
+			}
+			return subsets[a].Values[0] < subsets[b].Values[0]
+		})
+		spec.Attributes = append(spec.Attributes, AttrSpec{Attribute: attr.Name, Subsets: subsets})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}

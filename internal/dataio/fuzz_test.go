@@ -1,0 +1,64 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts that arbitrary input either errors cleanly or yields
+// a table that round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\nx,y\n", true)
+	f.Add("x,y\nz,w\n", false)
+	f.Add("", true)
+	f.Add("a\n\"unterminated", true)
+	f.Add("a,b\nonly-one\n", false)
+	f.Fuzz(func(t *testing.T, data string, header bool) {
+		tbl, err := ReadCSV(strings.NewReader(data), header)
+		if err != nil {
+			return
+		}
+		if tbl.Len() == 0 {
+			t.Fatal("ReadCSV returned an empty table without error")
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tbl); err != nil {
+			t.Fatalf("WriteCSV on parsed table: %v", err)
+		}
+		tbl2, err := ReadCSV(bytes.NewReader(buf.Bytes()), true)
+		if err != nil {
+			t.Fatalf("re-reading written CSV: %v", err)
+		}
+		if tbl2.Len() != tbl.Len() {
+			t.Fatalf("round trip changed row count: %d vs %d", tbl2.Len(), tbl.Len())
+		}
+	})
+}
+
+// FuzzLoadHierarchies asserts that arbitrary spec bytes either error
+// cleanly or produce valid hierarchies for a fixed schema.
+func FuzzLoadHierarchies(f *testing.F) {
+	f.Add(`{"attributes": [{"attribute": "age", "subsets": [{"values": ["1","2"]}]}]}`)
+	f.Add(`{"attributes": []}`)
+	f.Add(`{`)
+	f.Add(`{"attributes": [{"attribute": "age", "subsets": [{"values": ["1","1"]}]}]}`)
+	f.Fuzz(func(t *testing.T, spec string) {
+		tbl, err := ReadCSV(strings.NewReader("age,city\n1,a\n2,b\n3,c\n"), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hiers, err := LoadHierarchies(strings.NewReader(spec), tbl.Schema)
+		if err != nil {
+			return
+		}
+		for j, h := range hiers {
+			if err := h.Validate(); err != nil {
+				t.Fatalf("hierarchy %d invalid after successful load: %v", j, err)
+			}
+			if h.NumValues() != tbl.Schema.Attrs[j].Size() {
+				t.Fatalf("hierarchy %d wrong domain size", j)
+			}
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"kanon/internal/core"
+	"kanon/internal/datagen"
+	"kanon/internal/loss"
+	"kanon/internal/table"
+	"kanon/internal/workload"
+)
+
+// datagenAdult and nowMillis are tiny indirections keeping RunScale
+// readable.
+func datagenAdult(n int, seed int64) *datagen.Dataset { return datagen.Adult(n, seed) }
+
+func nowMillis() int64 { return time.Now().UnixMilli() }
+
+// RecodingResult is one row of the local-vs-global recoding ablation
+// (E15): the loss of local-recoding pipelines against the optimal
+// full-domain (global-recoding) generalization, quantifying the utility
+// argument of Section III for local recoding.
+type RecodingResult struct {
+	Dataset string
+	Measure MeasureKind
+	K       int
+
+	LocalKAnon float64 // best agglomerative variant (d3)
+	LocalKK    float64 // Algorithm 4 + 5
+	FullDomain float64 // optimal global recoding
+	Levels     []int   // the chosen full-domain level vector
+}
+
+// RunRecoding runs E15 on one dataset.
+func (c Config) RunRecoding(dataset string, m MeasureKind) ([]RecodingResult, error) {
+	ds, err := c.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	s, meas, err := newSpace(ds, m)
+	if err != nil {
+		return nil, err
+	}
+	var out []RecodingResult
+	for _, k := range c.Ks {
+		res := RecodingResult{Dataset: dataset, Measure: m, K: k}
+		gL, _, err := core.KAnonymize(s, ds.Table, core.KAnonOptions{K: k})
+		if err != nil {
+			return nil, err
+		}
+		res.LocalKAnon = loss.TableLoss(meas, gL)
+		gKK, err := core.KKAnonymize(s, ds.Table, k, core.K1ByExpansion)
+		if err != nil {
+			return nil, err
+		}
+		res.LocalKK = loss.TableLoss(meas, gKK)
+		gFD, levels, err := core.FullDomain(s, ds.Table, k)
+		if err != nil {
+			return nil, err
+		}
+		res.FullDomain = loss.TableLoss(meas, gFD)
+		res.Levels = levels
+		c.logf("done %-8s %-2s recoding          k=%-3d local=%.4f kk=%.4f full-domain=%.4f",
+			dataset, m, k, res.LocalKAnon, res.LocalKK, res.FullDomain)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatRecoding renders E15.
+func FormatRecoding(results []RecodingResult) string {
+	var b strings.Builder
+	b.WriteString("LOCAL vs GLOBAL RECODING (E15)\n")
+	fmt.Fprintf(&b, "%-6s %-3s %-4s %12s %12s %12s %10s %s\n",
+		"data", "msr", "k", "local k-anon", "local (k,k)", "full-domain", "saving", "levels")
+	for _, r := range results {
+		saving := 0.0
+		if r.FullDomain > 0 {
+			saving = (r.FullDomain - r.LocalKK) / r.FullDomain * 100
+		}
+		fmt.Fprintf(&b, "%-6s %-3s %-4d %12.4f %12.4f %12.4f %9.1f%% %v\n",
+			r.Dataset, r.Measure, r.K, r.LocalKAnon, r.LocalKK, r.FullDomain, saving, r.Levels)
+	}
+	return b.String()
+}
+
+// QueryResult is one row of the workload-accuracy experiment (E16): the
+// relative error of COUNT queries answered from each release.
+type QueryResult struct {
+	Dataset   string
+	K         int
+	Algorithm string
+	Accuracy  workload.Accuracy
+}
+
+// RunQueries runs E16 on one dataset: a fixed random workload of count
+// queries evaluated against every pipeline's release under the entropy
+// measure.
+func (c Config) RunQueries(dataset string, numQueries int) ([]QueryResult, error) {
+	ds, err := c.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	s, _, err := newSpace(ds, EM)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed + 1000))
+	queries, err := workload.Generate(rng, ds.Hiers, numQueries, 2)
+	if err != nil {
+		return nil, err
+	}
+
+	type pipeline struct {
+		name string
+		gen  func(k int) (*table.GenTable, error)
+	}
+	pipelines := []pipeline{
+		{"k-anon", func(k int) (*table.GenTable, error) {
+			g, _, err := core.KAnonymize(s, ds.Table, core.KAnonOptions{K: k})
+			return g, err
+		}},
+		{"forest", func(k int) (*table.GenTable, error) {
+			g, _, err := core.Forest(s, ds.Table, k)
+			return g, err
+		}},
+		{"kk", func(k int) (*table.GenTable, error) {
+			return core.KKAnonymize(s, ds.Table, k, core.K1ByExpansion)
+		}},
+		{"full-domain", func(k int) (*table.GenTable, error) {
+			g, _, err := core.FullDomain(s, ds.Table, k)
+			return g, err
+		}},
+	}
+	var out []QueryResult
+	for _, k := range c.Ks {
+		for _, p := range pipelines {
+			g, err := p.gen(k)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s at k=%d: %w", p.name, k, err)
+			}
+			acc := workload.Evaluate(ds.Table, g, ds.Hiers, queries)
+			out = append(out, QueryResult{Dataset: dataset, K: k, Algorithm: p.name, Accuracy: acc})
+			c.logf("done %-8s %-2s queries:%-10s k=%-3d meanerr=%.4f", dataset, "EM", p.name, k, acc.MeanRelError)
+		}
+	}
+	return out, nil
+}
+
+// FormatQueries renders E16.
+func FormatQueries(results []QueryResult) string {
+	var b strings.Builder
+	b.WriteString("WORKLOAD ACCURACY (E16) — relative error of COUNT queries\n")
+	fmt.Fprintf(&b, "%-6s %-4s %-12s %12s %12s %12s\n",
+		"data", "k", "release", "mean", "median", "max-abs")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-6s %-4d %-12s %12.4f %12.4f %12.1f\n",
+			r.Dataset, r.K, r.Algorithm,
+			r.Accuracy.MeanRelError, r.Accuracy.MedianRelError, r.Accuracy.MaxAbsError)
+	}
+	return b.String()
+}
+
+// ScaleResult is one row of the scalability experiment (E19): runtime and
+// loss of the plain agglomerative algorithm against the partitioned
+// variant (Section VII's "more scalable algorithms") as n grows.
+type ScaleResult struct {
+	N         int
+	Algorithm string
+	Millis    int64
+	Loss      float64
+}
+
+// RunScale runs E19 on Adult-like data for the given sizes. The plain
+// algorithm is skipped above skipPlainAbove records to keep the experiment
+// bounded.
+func (c Config) RunScale(sizes []int, k, maxChunk, skipPlainAbove int) ([]ScaleResult, error) {
+	var out []ScaleResult
+	for _, n := range sizes {
+		ds := datagenAdult(n, c.Seed)
+		s, meas, err := newSpace(ds, EM)
+		if err != nil {
+			return nil, err
+		}
+		if n <= skipPlainAbove {
+			start := nowMillis()
+			g, _, err := core.KAnonymize(s, ds.Table, core.KAnonOptions{K: k})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ScaleResult{N: n, Algorithm: "agglomerative",
+				Millis: nowMillis() - start, Loss: loss.TableLoss(meas, g)})
+		}
+		start := nowMillis()
+		g, _, err := core.KAnonymizePartitioned(s, ds.Table, core.PartitionedOptions{K: k, MaxChunk: maxChunk})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScaleResult{N: n, Algorithm: "partitioned",
+			Millis: nowMillis() - start, Loss: loss.TableLoss(meas, g)})
+		c.logf("done scale n=%-6d", n)
+	}
+	return out, nil
+}
+
+// FormatScale renders E19.
+func FormatScale(results []ScaleResult) string {
+	var b strings.Builder
+	b.WriteString("SCALABILITY (E19) — plain vs partitioned agglomerative, Adult-like data\n")
+	fmt.Fprintf(&b, "%-8s %-16s %10s %12s\n", "n", "algorithm", "time(ms)", "loss")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-8d %-16s %10d %12.4f\n", r.N, r.Algorithm, r.Millis, r.Loss)
+	}
+	return b.String()
+}
+
+// DiversityResult is one row of the ℓ-diversity extension experiment
+// (E17): the cost of layering distinct ℓ-diversity on the anonymizations.
+type DiversityResult struct {
+	Dataset string
+	K, L    int
+
+	PlainKAnonLoss, DiverseKAnonLoss float64
+	PlainKKLoss, DiverseKKLoss       float64
+	// PlainMinDiversity is the candidate diversity the plain (k,k) release
+	// happens to achieve without being asked.
+	PlainMinDiversity int
+}
+
+// RunDiversity runs E17 on one dataset under the entropy measure.
+func (c Config) RunDiversity(dataset string, l int) ([]DiversityResult, error) {
+	ds, err := c.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	s, meas, err := newSpace(ds, EM)
+	if err != nil {
+		return nil, err
+	}
+	var out []DiversityResult
+	for _, k := range c.Ks {
+		res := DiversityResult{Dataset: dataset, K: k, L: l}
+		gP, _, err := core.KAnonymize(s, ds.Table, core.KAnonOptions{K: k})
+		if err != nil {
+			return nil, err
+		}
+		res.PlainKAnonLoss = loss.TableLoss(meas, gP)
+		gD, _, err := core.KAnonymizeDiverse(s, ds.Table, core.KAnonOptions{K: k}, l, ds.Sensitive)
+		if err != nil {
+			return nil, err
+		}
+		res.DiverseKAnonLoss = loss.TableLoss(meas, gD)
+		gKK, err := core.KKAnonymize(s, ds.Table, k, core.K1ByExpansion)
+		if err != nil {
+			return nil, err
+		}
+		res.PlainKKLoss = loss.TableLoss(meas, gKK)
+		res.PlainMinDiversity, err = core.MinCandidateDiversity(s, ds.Table, gKK, ds.Sensitive)
+		if err != nil {
+			return nil, err
+		}
+		gKKD, err := core.KKAnonymizeDiverse(s, ds.Table, k, l, core.K1ByExpansion, ds.Sensitive)
+		if err != nil {
+			return nil, err
+		}
+		res.DiverseKKLoss = loss.TableLoss(meas, gKKD)
+		c.logf("done %-8s %-2s diversity l=%d     k=%-3d kanon=%.4f/%.4f kk=%.4f/%.4f",
+			dataset, "EM", l, k, res.PlainKAnonLoss, res.DiverseKAnonLoss, res.PlainKKLoss, res.DiverseKKLoss)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatDiversity renders E17.
+func FormatDiversity(results []DiversityResult) string {
+	var b strings.Builder
+	b.WriteString("ℓ-DIVERSITY EXTENSION (E17) — entropy loss, plain vs diversity-constrained\n")
+	fmt.Fprintf(&b, "%-6s %-4s %-3s %12s %12s %12s %12s %10s\n",
+		"data", "k", "l", "k-anon", "+diverse", "(k,k)", "+diverse", "free-div")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-6s %-4d %-3d %12.4f %12.4f %12.4f %12.4f %10d\n",
+			r.Dataset, r.K, r.L, r.PlainKAnonLoss, r.DiverseKAnonLoss,
+			r.PlainKKLoss, r.DiverseKKLoss, r.PlainMinDiversity)
+	}
+	return b.String()
+}

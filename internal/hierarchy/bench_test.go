@@ -1,0 +1,87 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchHierarchy(b *testing.B) *Hierarchy {
+	b.Helper()
+	h, err := Intervals(80, []int{5, 10, 20}, "*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func BenchmarkLCA(b *testing.B) {
+	h := benchHierarchy(b)
+	rng := rand.New(rand.NewSource(1))
+	n := h.NumNodes()
+	us := make([]int, 1024)
+	vs := make([]int, 1024)
+	for i := range us {
+		us[i] = rng.Intn(n)
+		vs[i] = rng.Intn(n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.LCA(us[i&1023], vs[i&1023])
+	}
+}
+
+func BenchmarkIsAncestor(b *testing.B) {
+	h := benchHierarchy(b)
+	rng := rand.New(rand.NewSource(2))
+	n := h.NumNodes()
+	us := make([]int, 1024)
+	vs := make([]int, 1024)
+	for i := range us {
+		us[i] = rng.Intn(n)
+		vs[i] = rng.Intn(n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.IsAncestor(us[i&1023], vs[i&1023])
+	}
+}
+
+func BenchmarkClosure(b *testing.B) {
+	h := benchHierarchy(b)
+	rng := rand.New(rand.NewSource(3))
+	sets := make([][]int, 256)
+	for i := range sets {
+		set := make([]int, 8)
+		for j := range set {
+			set[j] = rng.Intn(h.NumValues())
+		}
+		sets[i] = set
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Closure(sets[i&255])
+	}
+}
+
+func BenchmarkFromSubsets(b *testing.B) {
+	subsets := []Subset{
+		{Values: []int{0, 1, 2, 3, 4}}, {Values: []int{5, 6, 7, 8, 9}},
+		{Values: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+		{Values: []int{10, 11}}, {Values: []int{12, 13}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromSubsets(16, subsets, "*"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntervalsBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Intervals(200, []int{5, 10, 50}, "*"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subset is one non-trivial permissible subset in an explicit hierarchy
+// specification: a set of value ids and an optional display label.
+// Singletons and the full domain are always permissible and must not be
+// listed.
+type Subset struct {
+	Values []int
+	Label  string
+}
+
+// FromSubsets builds a hierarchy over numValues values from an explicit list
+// of non-trivial permissible subsets, in the style of the paper's Section VI
+// artificial-data description ("we list below only the non-trivial subsets
+// in A"). The subsets, together with the implicit singletons and full
+// domain, must form a laminar family: any two must be disjoint or nested.
+// Violations are reported as errors.
+func FromSubsets(numValues int, subsets []Subset, rootLabel string) (*Hierarchy, error) {
+	if numValues <= 0 {
+		return nil, fmt.Errorf("hierarchy: numValues must be positive, got %d", numValues)
+	}
+	// Normalize and validate each subset.
+	type nodeSpec struct {
+		values []int // sorted, deduplicated
+		label  string
+	}
+	specs := make([]nodeSpec, 0, len(subsets))
+	for si, s := range subsets {
+		if len(s.Values) == 0 {
+			return nil, fmt.Errorf("hierarchy: subset %d is empty", si)
+		}
+		vs := append([]int(nil), s.Values...)
+		sort.Ints(vs)
+		for i, v := range vs {
+			if v < 0 || v >= numValues {
+				return nil, fmt.Errorf("hierarchy: subset %d contains out-of-range value %d (domain size %d)", si, v, numValues)
+			}
+			if i > 0 && vs[i-1] == v {
+				return nil, fmt.Errorf("hierarchy: subset %d contains duplicate value %d", si, v)
+			}
+		}
+		if len(vs) == 1 {
+			return nil, fmt.Errorf("hierarchy: subset %d is a singleton {%d}; singletons are implicit", si, vs[0])
+		}
+		if len(vs) == numValues {
+			return nil, fmt.Errorf("hierarchy: subset %d is the full domain; the root is implicit", si)
+		}
+		specs = append(specs, nodeSpec{values: vs, label: s.Label})
+	}
+	// Check for duplicate subsets and laminarity.
+	for i := 0; i < len(specs); i++ {
+		for j := i + 1; j < len(specs); j++ {
+			rel := compareSets(specs[i].values, specs[j].values)
+			switch rel {
+			case setEqual:
+				return nil, fmt.Errorf("hierarchy: subsets %d and %d are identical", i, j)
+			case setCrossing:
+				return nil, fmt.Errorf("hierarchy: subsets %v and %v overlap without nesting (not laminar)",
+					specs[i].values, specs[j].values)
+			}
+		}
+	}
+	// Sort specs by descending size so parents precede children.
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := specs[order[a]], specs[order[b]]
+		if len(sa.values) != len(sb.values) {
+			return len(sa.values) > len(sb.values)
+		}
+		return sa.values[0] < sb.values[0]
+	})
+
+	h := &Hierarchy{numValues: numValues}
+	total := numValues + len(specs) + 1
+	h.parent = make([]int, total)
+	h.children = make([][]int, total)
+	h.labels = make([]string, total)
+	h.root = total - 1
+	h.labels[h.root] = rootLabel
+	h.parent[h.root] = -1
+
+	// leafParent[v] tracks the current smallest subset containing value v;
+	// we assign internal nodes from largest to smallest so the final parent
+	// of every node is the smallest strict superset.
+	owner := make([]int, numValues) // current innermost node covering each value
+	for v := range owner {
+		owner[v] = h.root
+	}
+	nodeID := numValues // internal ids start after the leaves
+	ids := make([]int, len(specs))
+	covered := make([][]int, total) // values covered, for internal spec nodes
+	for _, si := range order {
+		id := nodeID
+		nodeID++
+		ids[si] = id
+		h.labels[id] = specs[si].label
+		covered[id] = specs[si].values
+		// Parent is the innermost node currently covering the subset's
+		// values; by laminarity all values share the same owner.
+		p := owner[specs[si].values[0]]
+		h.parent[id] = p
+		h.children[p] = append(h.children[p], id)
+		for _, v := range specs[si].values {
+			if owner[v] != p {
+				// Cannot happen if laminarity held, but guard anyway.
+				return nil, fmt.Errorf("hierarchy: internal error: subset %v straddles nodes", specs[si].values)
+			}
+			owner[v] = id
+		}
+	}
+	// Attach leaves to their innermost owners.
+	for v := 0; v < numValues; v++ {
+		p := owner[v]
+		h.parent[v] = p
+		h.children[p] = append(h.children[p], v)
+	}
+	// Keep children in a deterministic order: leaves and internal nodes mixed,
+	// sorted by the smallest value they cover.
+	minVal := func(u int) int {
+		if h.IsLeaf(u) {
+			return u
+		}
+		return covered[u][0]
+	}
+	for u := range h.children {
+		sort.Slice(h.children[u], func(a, b int) bool {
+			return minVal(h.children[u][a]) < minVal(h.children[u][b])
+		})
+	}
+	h.finish()
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustFromSubsets is like FromSubsets but panics on error; for statically
+// known hierarchies.
+func MustFromSubsets(numValues int, subsets []Subset, rootLabel string) *Hierarchy {
+	h, err := FromSubsets(numValues, subsets, rootLabel)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Flat builds the trivial hierarchy whose only permissible subsets are the
+// singletons and the full domain — i.e. each entry may either be kept or
+// fully suppressed, the Meyerson–Williams suppression model.
+func Flat(numValues int) *Hierarchy {
+	h, err := FromSubsets(numValues, nil, "*")
+	if err != nil {
+		panic(err) // numValues > 0 cannot fail
+	}
+	return h
+}
+
+// Levels builds a hierarchy from successive partitions of the value ids.
+// levels[0] is the finest non-trivial partition (each block becomes a child
+// of the next level's block containing it), levels[len-1] the coarsest below
+// the root. Each level must be a partition of {0..numValues-1} and must be
+// coarsened by the next level. Blocks of size 1 are skipped (singletons are
+// implicit).
+func Levels(numValues int, levels [][][]int, rootLabel string) (*Hierarchy, error) {
+	var subsets []Subset
+	for li, level := range levels {
+		seen := make([]bool, numValues)
+		for bi, block := range level {
+			for _, v := range block {
+				if v < 0 || v >= numValues {
+					return nil, fmt.Errorf("hierarchy: level %d block %d has out-of-range value %d", li, bi, v)
+				}
+				if seen[v] {
+					return nil, fmt.Errorf("hierarchy: level %d covers value %d twice", li, v)
+				}
+				seen[v] = true
+			}
+			if len(block) > 1 && len(block) < numValues {
+				subsets = append(subsets, Subset{Values: block, Label: fmt.Sprintf("L%d.%d", li, bi)})
+			}
+		}
+		for v, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("hierarchy: level %d does not cover value %d", li, v)
+			}
+		}
+	}
+	// Deduplicate identical blocks across levels (a block may persist).
+	subsets = dedupeSubsets(subsets)
+	return FromSubsets(numValues, subsets, rootLabel)
+}
+
+// Intervals builds a hierarchy for an ordered numeric-like attribute whose
+// value ids 0..numValues-1 stand for increasing values. widths lists the
+// interval widths of successive levels (e.g. widths = [5, 10, 25] groups
+// values into runs of 5, then 10, then 25). Each width must divide into the
+// next coarser grouping sensibly; formally each width must be a multiple of
+// the previous one so the family is laminar.
+func Intervals(numValues int, widths []int, rootLabel string) (*Hierarchy, error) {
+	prev := 1
+	var subsets []Subset
+	for li, w := range widths {
+		if w <= 1 {
+			return nil, fmt.Errorf("hierarchy: interval width must exceed 1, got %d", w)
+		}
+		if w%prev != 0 {
+			return nil, fmt.Errorf("hierarchy: interval width %d is not a multiple of previous width %d", w, prev)
+		}
+		prev = w
+		for start := 0; start < numValues; start += w {
+			end := start + w
+			if end > numValues {
+				end = numValues
+			}
+			if end-start <= 1 || end-start >= numValues {
+				continue
+			}
+			block := make([]int, 0, end-start)
+			for v := start; v < end; v++ {
+				block = append(block, v)
+			}
+			subsets = append(subsets, Subset{Values: block, Label: fmt.Sprintf("[%d-%d)@L%d", start, end, li)})
+		}
+	}
+	subsets = dedupeSubsets(subsets)
+	return FromSubsets(numValues, subsets, rootLabel)
+}
+
+func dedupeSubsets(subsets []Subset) []Subset {
+	seen := make(map[string]bool)
+	out := subsets[:0]
+	for _, s := range subsets {
+		vs := append([]int(nil), s.Values...)
+		sort.Ints(vs)
+		key := fmt.Sprint(vs)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+type setRelation int
+
+const (
+	setDisjoint setRelation = iota
+	setEqual
+	setNestedAinB
+	setNestedBinA
+	setCrossing
+)
+
+// compareSets classifies the relation of two sorted int sets.
+func compareSets(a, b []int) setRelation {
+	i, j := 0, 0
+	common := 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			common++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	switch {
+	case common == 0:
+		return setDisjoint
+	case common == len(a) && common == len(b):
+		return setEqual
+	case common == len(a):
+		return setNestedAinB
+	case common == len(b):
+		return setNestedBinA
+	default:
+		return setCrossing
+	}
+}

@@ -1,0 +1,52 @@
+package hierarchy
+
+import "testing"
+
+// FuzzFromSubsets asserts that arbitrary subset lists either error cleanly
+// or produce hierarchies satisfying the closure laws.
+func FuzzFromSubsets(f *testing.F) {
+	f.Add(6, []byte{0, 1, 255, 2, 3})
+	f.Add(4, []byte{0, 1, 2})
+	f.Add(3, []byte{})
+	f.Fuzz(func(t *testing.T, numValues int, encoded []byte) {
+		if numValues < 1 || numValues > 32 {
+			return
+		}
+		// Decode subsets: 255 separates them, other bytes are value ids
+		// modulo numValues.
+		var subsets []Subset
+		var cur []int
+		for _, b := range encoded {
+			if b == 255 {
+				if len(cur) > 0 {
+					subsets = append(subsets, Subset{Values: cur})
+					cur = nil
+				}
+				continue
+			}
+			cur = append(cur, int(b)%numValues)
+		}
+		if len(cur) > 0 {
+			subsets = append(subsets, Subset{Values: cur})
+		}
+		h, err := FromSubsets(numValues, subsets, "*")
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("Validate after successful build: %v", err)
+		}
+		// Closure laws on all leaf pairs.
+		for a := 0; a < numValues; a++ {
+			for b := 0; b < numValues; b++ {
+				l := h.LCA(h.LeafOf(a), h.LeafOf(b))
+				if !h.Covers(l, a) || !h.Covers(l, b) {
+					t.Fatalf("LCA(%d,%d) does not cover its arguments", a, b)
+				}
+				if l != h.LCA(h.LeafOf(b), h.LeafOf(a)) {
+					t.Fatalf("LCA not symmetric at (%d,%d)", a, b)
+				}
+			}
+		}
+	})
+}

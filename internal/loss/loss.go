@@ -1,0 +1,312 @@
+// Package loss implements the information-loss measures of
+// "k-Anonymization Revisited": the entropy measure ΠE (Definition 4.3,
+// originating in Gionis–Tassa ESA'07), the LM measure ΠLM (eq. 4, Iyengar),
+// the tree measure of Aggarwal et al., and the discernibility (DM) and
+// classification (CM) table-level metrics referenced in Section II.
+//
+// All per-record measures share one shape (Section V-A.2): the per-entry
+// cost of generalizing attribute j to permissible subset B is a number
+// cost(j, B); a generalized record costs c(R̄) = (1/r)·Σ_j cost(j, R̄(j));
+// and a generalization costs Π(D, g(D)) = (1/n)·Σ_i c(R̄_i). Cluster costs
+// d(S) = c(closure(S)) are then derived in internal/cluster.
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/table"
+)
+
+// Measure prices the generalization of a single table entry. Cost must be
+// non-negative and zero on leaves (no generalization). LM, Tree,
+// Suppression and MonotoneEntropy are monotone along the hierarchy
+// (generalizing further never costs less); the raw Entropy measure is not
+// necessarily — H(X_j | B) can drop when B grows into a heavily skewed
+// superset — which is exactly why its source ([10], Gionis–Tassa ESA'07)
+// also defines the monotone variant.
+type Measure interface {
+	// Name identifies the measure in reports ("entropy", "LM", "tree").
+	Name() string
+	// Cost returns the per-entry cost of generalizing attribute j to
+	// hierarchy node `node`.
+	Cost(j, node int) float64
+	// NumAttrs returns the number of attributes the measure was built for.
+	NumAttrs() int
+}
+
+// RecordCost returns c(R̄) = (1/r)·Σ_j Cost(j, R̄(j)).
+func RecordCost(m Measure, g table.GenRecord) float64 {
+	sum := 0.0
+	for j, node := range g {
+		sum += m.Cost(j, node)
+	}
+	return sum / float64(len(g))
+}
+
+// TableLoss returns Π(D, g(D)) = (1/n)·Σ_i c(R̄_i), the average per-record
+// information loss of the generalization.
+func TableLoss(m Measure, g *table.GenTable) float64 {
+	if g.Len() == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range g.Records {
+		sum += RecordCost(m, r)
+	}
+	return sum / float64(g.Len())
+}
+
+// Entropy is the entropy measure ΠE of Definition 4.3. It depends on the
+// original table: Cost(j, B) = H(X_j | B), the conditional entropy of the
+// attribute's empirical distribution restricted to the subset B.
+type Entropy struct {
+	costs [][]float64 // costs[j][node]
+}
+
+// NewEntropy precomputes H(X_j | B) for every attribute j and every
+// permissible subset B, from the empirical value counts of tbl. The counts
+// are aggregated bottom-up over each hierarchy, so construction is
+// O(n·r + Σ_j nodes_j).
+func NewEntropy(tbl *table.Table, hiers []*hierarchy.Hierarchy) (*Entropy, error) {
+	if len(hiers) != tbl.Schema.NumAttrs() {
+		return nil, fmt.Errorf("loss: %d hierarchies for %d attributes", len(hiers), tbl.Schema.NumAttrs())
+	}
+	e := &Entropy{costs: make([][]float64, len(hiers))}
+	for j, h := range hiers {
+		if h.NumValues() != tbl.Schema.Attrs[j].Size() {
+			return nil, fmt.Errorf("loss: hierarchy %d covers %d values, attribute %q has %d",
+				j, h.NumValues(), tbl.Schema.Attrs[j].Name, tbl.Schema.Attrs[j].Size())
+		}
+		leafCounts := tbl.ValueCounts(j)
+		e.costs[j] = entropyPerNode(h, leafCounts)
+	}
+	return e, nil
+}
+
+// entropyPerNode returns H(X | B) for every node B of h, given leaf counts.
+func entropyPerNode(h *hierarchy.Hierarchy, leafCounts []int) []float64 {
+	nNodes := h.NumNodes()
+	counts := make([]int, nNodes)
+	hv := make([]float64, nNodes)
+	// Process nodes in decreasing tin order? Simpler: recursive accumulation
+	// via post-order using an explicit stack keyed on children processed.
+	type frame struct{ node, child int }
+	stack := []frame{{h.Root(), 0}}
+	// sumPlogp[u] accumulates Σ_{b∈u, c_b>0} c_b · log2(c_b) over leaves.
+	sumPlogp := make([]float64, nNodes)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ch := h.Children(f.node)
+		if f.child < len(ch) {
+			c := ch[f.child]
+			f.child++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		u := f.node
+		if h.IsLeaf(u) {
+			c := leafCounts[h.ValueOf(u)]
+			counts[u] = c
+			if c > 0 {
+				sumPlogp[u] = float64(c) * math.Log2(float64(c))
+			}
+		} else {
+			for _, c := range ch {
+				counts[u] += counts[c]
+				sumPlogp[u] += sumPlogp[c]
+			}
+		}
+		// H(X|B) = log2(N_B) − (1/N_B)·Σ c_b·log2(c_b), with N_B = counts[u].
+		if counts[u] > 0 {
+			nb := float64(counts[u])
+			hval := math.Log2(nb) - sumPlogp[u]/nb
+			if hval < 0 { // guard against float underflow
+				hval = 0
+			}
+			hv[u] = hval
+		}
+		stack = stack[:len(stack)-1]
+	}
+	return hv
+}
+
+// Name implements Measure.
+func (e *Entropy) Name() string { return "entropy" }
+
+// NumAttrs implements Measure.
+func (e *Entropy) NumAttrs() int { return len(e.costs) }
+
+// Cost implements Measure: H(X_j | B) in bits.
+func (e *Entropy) Cost(j, node int) float64 { return e.costs[j][node] }
+
+// MonotoneEntropy is the monotone entropy measure of [10] (Gionis–Tassa
+// ESA'07): the monotone envelope of the entropy measure along each
+// hierarchy, Cost(j, B) = max over permissible B' ⊆ B of H(X_j | B').
+// It agrees with the raw entropy measure wherever that is already
+// monotone, and is the variant to use when an algorithm's guarantee needs
+// monotone costs (e.g. the full-domain lattice search).
+type MonotoneEntropy struct {
+	costs [][]float64
+}
+
+// NewMonotoneEntropy precomputes the monotone envelope of the entropy
+// measure for tbl over the hierarchies.
+func NewMonotoneEntropy(tbl *table.Table, hiers []*hierarchy.Hierarchy) (*MonotoneEntropy, error) {
+	e, err := NewEntropy(tbl, hiers)
+	if err != nil {
+		return nil, err
+	}
+	m := &MonotoneEntropy{costs: make([][]float64, len(hiers))}
+	for j, h := range hiers {
+		env := make([]float64, h.NumNodes())
+		copy(env, e.costs[j])
+		// Post-order: a node's envelope is the max of its own entropy and
+		// its children's envelopes.
+		type frame struct{ node, child int }
+		stack := []frame{{h.Root(), 0}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			ch := h.Children(f.node)
+			if f.child < len(ch) {
+				c := ch[f.child]
+				f.child++
+				stack = append(stack, frame{c, 0})
+				continue
+			}
+			for _, c := range ch {
+				if env[c] > env[f.node] {
+					env[f.node] = env[c]
+				}
+			}
+			stack = stack[:len(stack)-1]
+		}
+		m.costs[j] = env
+	}
+	return m, nil
+}
+
+// Name implements Measure.
+func (m *MonotoneEntropy) Name() string { return "monotone-entropy" }
+
+// NumAttrs implements Measure.
+func (m *MonotoneEntropy) NumAttrs() int { return len(m.costs) }
+
+// Cost implements Measure.
+func (m *MonotoneEntropy) Cost(j, node int) float64 { return m.costs[j][node] }
+
+// LM is the Loss Metric of eq. (4): Cost(j, B) = (|B|−1)/(|A_j|−1), ranging
+// from 0 (no generalization) to 1 (total suppression).
+type LM struct {
+	hiers []*hierarchy.Hierarchy
+}
+
+// NewLM builds the LM measure over the given hierarchies.
+func NewLM(hiers []*hierarchy.Hierarchy) *LM { return &LM{hiers: hiers} }
+
+// Name implements Measure.
+func (l *LM) Name() string { return "LM" }
+
+// NumAttrs implements Measure.
+func (l *LM) NumAttrs() int { return len(l.hiers) }
+
+// Cost implements Measure.
+func (l *LM) Cost(j, node int) float64 {
+	h := l.hiers[j]
+	den := h.NumValues() - 1
+	if den <= 0 {
+		return 0
+	}
+	return float64(h.Size(node)-1) / float64(den)
+}
+
+// Tree is the tree measure of Aggarwal et al. (ICDT'05): the cost of a node
+// is proportional to its generalization level — here the height of its
+// subtree divided by the hierarchy height, so leaves cost 0 and the root
+// costs 1.
+type Tree struct {
+	costs [][]float64
+}
+
+// NewTree builds the tree measure over the given hierarchies.
+func NewTree(hiers []*hierarchy.Hierarchy) *Tree {
+	t := &Tree{costs: make([][]float64, len(hiers))}
+	for j, h := range hiers {
+		costs := make([]float64, h.NumNodes())
+		height := subtreeHeights(h, costs)
+		if height > 0 {
+			for u := range costs {
+				costs[u] /= float64(height)
+			}
+		}
+		t.costs[j] = costs
+	}
+	return t
+}
+
+// subtreeHeights fills out[u] with the height of the subtree rooted at u and
+// returns the root's height.
+func subtreeHeights(h *hierarchy.Hierarchy, out []float64) int {
+	type frame struct{ node, child int }
+	stack := []frame{{h.Root(), 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ch := h.Children(f.node)
+		if f.child < len(ch) {
+			c := ch[f.child]
+			f.child++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		if !h.IsLeaf(f.node) {
+			maxH := 0.0
+			for _, c := range ch {
+				if out[c] > maxH {
+					maxH = out[c]
+				}
+			}
+			out[f.node] = maxH + 1
+		}
+		stack = stack[:len(stack)-1]
+	}
+	return int(out[h.Root()])
+}
+
+// Name implements Measure.
+func (t *Tree) Name() string { return "tree" }
+
+// NumAttrs implements Measure.
+func (t *Tree) NumAttrs() int { return len(t.costs) }
+
+// Cost implements Measure.
+func (t *Tree) Cost(j, node int) float64 { return t.costs[j][node] }
+
+// Suppression is the measure of Meyerson and Williams (PODS'04), the
+// original k-anonymization cost model reviewed in Section II: it counts
+// suppressed entries. An entry is suppressed iff it is generalized to the
+// full attribute domain; intermediate generalizations are free. Π is then
+// the fraction of suppressed entries.
+type Suppression struct {
+	hiers []*hierarchy.Hierarchy
+}
+
+// NewSuppression builds the suppression-count measure.
+func NewSuppression(hiers []*hierarchy.Hierarchy) *Suppression {
+	return &Suppression{hiers: hiers}
+}
+
+// Name implements Measure.
+func (s *Suppression) Name() string { return "suppression" }
+
+// NumAttrs implements Measure.
+func (s *Suppression) NumAttrs() int { return len(s.hiers) }
+
+// Cost implements Measure.
+func (s *Suppression) Cost(j, node int) float64 {
+	h := s.hiers[j]
+	if h.Size(node) == h.NumValues() {
+		return 1
+	}
+	return 0
+}

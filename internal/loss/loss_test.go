@@ -1,0 +1,399 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/table"
+)
+
+const eps = 1e-12
+
+// fourValueSetup builds a 1-attribute table over domain {a,b,c,d} with
+// counts 4,2,1,1 and hierarchy subsets {a,b} and {c,d}.
+func fourValueSetup(t *testing.T) (*table.Table, []*hierarchy.Hierarchy) {
+	t.Helper()
+	schema := table.MustSchema(table.MustAttribute("x", []string{"a", "b", "c", "d"}))
+	tbl := table.New(schema)
+	for _, v := range []int{0, 0, 0, 0, 1, 1, 2, 3} {
+		tbl.MustAppend(table.Record{v})
+	}
+	h, err := hierarchy.FromSubsets(4, []hierarchy.Subset{
+		{Values: []int{0, 1}, Label: "ab"},
+		{Values: []int{2, 3}, Label: "cd"},
+	}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, []*hierarchy.Hierarchy{h}
+}
+
+func TestEntropyHandComputed(t *testing.T) {
+	tbl, hiers := fourValueSetup(t)
+	e, err := NewEntropy(tbl, hiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hiers[0]
+
+	// Leaves: H(X | {v}) = 0.
+	for v := 0; v < 4; v++ {
+		if got := e.Cost(0, h.LeafOf(v)); got != 0 {
+			t.Errorf("leaf %d cost = %v, want 0", v, got)
+		}
+	}
+	// {a,b}: counts 4,2 -> p = 2/3, 1/3.
+	ab := h.Closure([]int{0, 1})
+	wantAB := -(2.0/3)*math.Log2(2.0/3) - (1.0/3)*math.Log2(1.0/3)
+	if got := e.Cost(0, ab); math.Abs(got-wantAB) > eps {
+		t.Errorf("H(X|{a,b}) = %v, want %v", got, wantAB)
+	}
+	// {c,d}: counts 1,1 -> H = 1 bit.
+	cd := h.Closure([]int{2, 3})
+	if got := e.Cost(0, cd); math.Abs(got-1.0) > eps {
+		t.Errorf("H(X|{c,d}) = %v, want 1", got)
+	}
+	// Root: counts 4,2,1,1 of 8 -> H = 4/8·1 + 2/8·2 + 2·(1/8·3) = 1.75.
+	if got := e.Cost(0, h.Root()); math.Abs(got-1.75) > eps {
+		t.Errorf("H(X|root) = %v, want 1.75", got)
+	}
+}
+
+func TestEntropyZeroCountSubset(t *testing.T) {
+	// Values that never occur: subsets with zero total count cost 0, and
+	// subsets where only one value occurs cost 0 (no uncertainty).
+	schema := table.MustSchema(table.MustAttribute("x", []string{"a", "b", "c", "d"}))
+	tbl := table.New(schema)
+	tbl.MustAppend(table.Record{0})
+	tbl.MustAppend(table.Record{0})
+	h, err := hierarchy.FromSubsets(4, []hierarchy.Subset{
+		{Values: []int{0, 1}}, {Values: []int{2, 3}},
+	}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEntropy(tbl, []*hierarchy.Hierarchy{h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Cost(0, h.Closure([]int{2, 3})); got != 0 {
+		t.Errorf("zero-count subset cost = %v, want 0", got)
+	}
+	if got := e.Cost(0, h.Closure([]int{0, 1})); got != 0 {
+		t.Errorf("single-occupied subset cost = %v, want 0", got)
+	}
+	if got := e.Cost(0, h.Root()); got != 0 {
+		t.Errorf("root with one occupied value cost = %v, want 0", got)
+	}
+}
+
+func TestEntropyMismatchErrors(t *testing.T) {
+	tbl, hiers := fourValueSetup(t)
+	if _, err := NewEntropy(tbl, nil); err == nil {
+		t.Error("expected attr-count mismatch error")
+	}
+	wrong := []*hierarchy.Hierarchy{hierarchy.Flat(3)}
+	if _, err := NewEntropy(tbl, wrong); err == nil {
+		t.Error("expected value-count mismatch error")
+	}
+	_ = hiers
+}
+
+func TestLMHandComputed(t *testing.T) {
+	_, hiers := fourValueSetup(t)
+	l := NewLM(hiers)
+	h := hiers[0]
+	if got := l.Cost(0, h.LeafOf(2)); got != 0 {
+		t.Errorf("leaf LM cost = %v, want 0", got)
+	}
+	if got := l.Cost(0, h.Closure([]int{0, 1})); math.Abs(got-1.0/3) > eps {
+		t.Errorf("LM({a,b}) = %v, want 1/3", got)
+	}
+	if got := l.Cost(0, h.Root()); got != 1 {
+		t.Errorf("LM(root) = %v, want 1", got)
+	}
+}
+
+func TestLMSingleValueAttribute(t *testing.T) {
+	l := NewLM([]*hierarchy.Hierarchy{hierarchy.Flat(1)})
+	h := hierarchy.Flat(1)
+	if got := l.Cost(0, h.Root()); got != 0 {
+		t.Errorf("LM on |A|=1 = %v, want 0 (no information to lose)", got)
+	}
+}
+
+func TestTreeMeasure(t *testing.T) {
+	// A6-like structure: height 3.
+	h, err := hierarchy.FromSubsets(5, []hierarchy.Subset{
+		{Values: []int{0, 1}}, {Values: []int{3, 4}}, {Values: []int{2, 3, 4}},
+	}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTree([]*hierarchy.Hierarchy{h})
+	if got := tr.Cost(0, h.LeafOf(0)); got != 0 {
+		t.Errorf("leaf tree cost = %v, want 0", got)
+	}
+	if got := tr.Cost(0, h.Root()); got != 1 {
+		t.Errorf("root tree cost = %v, want 1", got)
+	}
+	// {a4,a5} is one level up: 1/3.
+	if got := tr.Cost(0, h.Closure([]int{3, 4})); math.Abs(got-1.0/3) > eps {
+		t.Errorf("tree({a4,a5}) = %v, want 1/3", got)
+	}
+	// {a3,a4,a5} has subtree height 2: 2/3.
+	if got := tr.Cost(0, h.Closure([]int{2, 4})); math.Abs(got-2.0/3) > eps {
+		t.Errorf("tree({a3,a4,a5}) = %v, want 2/3", got)
+	}
+}
+
+func TestTreeSingleValueAttribute(t *testing.T) {
+	h := hierarchy.Flat(1)
+	tr := NewTree([]*hierarchy.Hierarchy{h})
+	if got := tr.Cost(0, h.Root()); got != 1 {
+		// Flat(1) has height 1 (leaf below root), so root costs 1.
+		t.Errorf("tree root cost = %v, want 1", got)
+	}
+}
+
+func TestRecordCostAveragesAttributes(t *testing.T) {
+	tbl, hiers := fourValueSetup(t)
+	// Two copies of the same attribute.
+	schema2 := table.MustSchema(
+		table.MustAttribute("x", []string{"a", "b", "c", "d"}),
+		table.MustAttribute("y", []string{"a", "b", "c", "d"}),
+	)
+	tbl2 := table.New(schema2)
+	for _, r := range tbl.Records {
+		tbl2.MustAppend(table.Record{r[0], r[0]})
+	}
+	hiers2 := []*hierarchy.Hierarchy{hiers[0], hiers[0]}
+	e, err := NewEntropy(tbl2, hiers2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hiers2[0]
+	g := table.GenRecord{h.Root(), h.LeafOf(0)}
+	want := (1.75 + 0) / 2
+	if got := RecordCost(e, g); math.Abs(got-want) > eps {
+		t.Errorf("RecordCost = %v, want %v", got, want)
+	}
+}
+
+func TestTableLoss(t *testing.T) {
+	tbl, hiers := fourValueSetup(t)
+	e, err := NewEntropy(tbl, hiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hiers[0]
+	g := table.NewGen(tbl.Schema, 2)
+	g.Records[0] = table.GenRecord{h.Root()}    // 1.75
+	g.Records[1] = table.GenRecord{h.LeafOf(0)} // 0
+	if got := TableLoss(e, g); math.Abs(got-0.875) > eps {
+		t.Errorf("TableLoss = %v, want 0.875", got)
+	}
+	empty := table.NewGen(tbl.Schema, 0)
+	if got := TableLoss(e, empty); got != 0 {
+		t.Errorf("TableLoss(empty) = %v, want 0", got)
+	}
+}
+
+// TestMonotonicityQuick checks that every measure documented as monotone
+// truly never decreases along the hierarchy. The raw entropy measure is
+// deliberately absent — see TestEntropyNonMonotoneCounterexample.
+func TestMonotonicityQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	schema := table.MustSchema(table.MustAttribute("x", []string{"a", "b", "c", "d", "e", "f", "g", "h"}))
+	tbl := table.New(schema)
+	for i := 0; i < 64; i++ {
+		tbl.MustAppend(table.Record{rng.Intn(8)})
+	}
+	h, err := hierarchy.Intervals(8, []int{2, 4}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := []*hierarchy.Hierarchy{h}
+	me, err := NewMonotoneEntropy(tbl, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measures := []Measure{me, NewLM(hs), NewTree(hs), NewSuppression(hs)}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	for _, m := range measures {
+		m := m
+		if err := quick.Check(func(a int) bool {
+			u := ((a % h.NumNodes()) + h.NumNodes()) % h.NumNodes()
+			for u != h.Root() {
+				p := h.Parent(u)
+				if m.Cost(0, p) < m.Cost(0, u)-eps {
+					return false
+				}
+				u = p
+			}
+			return true
+		}, cfg); err != nil {
+			t.Errorf("%s not monotone: %v", m.Name(), err)
+		}
+	}
+}
+
+// TestEntropyNonMonotoneCounterexample pins down why the monotone variant
+// exists: with counts {a:1, b:1} and {c:98}, H(X|{a,b}) = 1 bit but
+// H(X|{a,b,c}) ≈ 0.24 bits — generalizing got *cheaper* under the raw
+// entropy measure.
+func TestEntropyNonMonotoneCounterexample(t *testing.T) {
+	schema := table.MustSchema(table.MustAttribute("x", []string{"a", "b", "c"}))
+	tbl := table.New(schema)
+	tbl.MustAppend(table.Record{0})
+	tbl.MustAppend(table.Record{1})
+	for i := 0; i < 98; i++ {
+		tbl.MustAppend(table.Record{2})
+	}
+	h, err := hierarchy.FromSubsets(3, []hierarchy.Subset{{Values: []int{0, 1}}}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := []*hierarchy.Hierarchy{h}
+	e, err := NewEntropy(tbl, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := h.Closure([]int{0, 1})
+	if e.Cost(0, ab) <= e.Cost(0, h.Root()) {
+		t.Fatalf("counterexample did not trigger: H(ab)=%v H(root)=%v",
+			e.Cost(0, ab), e.Cost(0, h.Root()))
+	}
+	// The monotone envelope repairs it.
+	me, err := NewMonotoneEntropy(tbl, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me.Cost(0, h.Root()) < me.Cost(0, ab) {
+		t.Error("monotone entropy still non-monotone")
+	}
+	if me.Cost(0, ab) != e.Cost(0, ab) {
+		t.Error("envelope should equal raw entropy at the max node")
+	}
+	if me.Name() != "monotone-entropy" || me.NumAttrs() != 1 {
+		t.Error("monotone entropy identity wrong")
+	}
+}
+
+// TestMonotoneEntropyDominatesRaw: the envelope is a pointwise upper bound
+// that agrees with the raw measure on leaves.
+func TestMonotoneEntropyDominatesRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	schema := table.MustSchema(table.MustAttribute("x", []string{"a", "b", "c", "d", "e", "f"}))
+	tbl := table.New(schema)
+	for i := 0; i < 200; i++ {
+		tbl.MustAppend(table.Record{rng.Intn(6)})
+	}
+	h, err := hierarchy.FromSubsets(6, []hierarchy.Subset{
+		{Values: []int{0, 1}}, {Values: []int{2, 3, 4}},
+	}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := []*hierarchy.Hierarchy{h}
+	e, _ := NewEntropy(tbl, hs)
+	me, _ := NewMonotoneEntropy(tbl, hs)
+	for u := 0; u < h.NumNodes(); u++ {
+		if me.Cost(0, u) < e.Cost(0, u)-eps {
+			t.Errorf("node %d: envelope %v below raw %v", u, me.Cost(0, u), e.Cost(0, u))
+		}
+		if h.IsLeaf(u) && me.Cost(0, u) != 0 {
+			t.Errorf("leaf %d: envelope %v, want 0", u, me.Cost(0, u))
+		}
+	}
+}
+
+func TestEntropyBoundsQuick(t *testing.T) {
+	// 0 ≤ H(X|B) ≤ log2(|B|) for every node.
+	rng := rand.New(rand.NewSource(29))
+	schema := table.MustSchema(table.MustAttribute("x", []string{"a", "b", "c", "d", "e", "f"}))
+	for trial := 0; trial < 25; trial++ {
+		tbl := table.New(schema)
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			tbl.MustAppend(table.Record{rng.Intn(6)})
+		}
+		h, err := hierarchy.FromSubsets(6, []hierarchy.Subset{
+			{Values: []int{0, 1, 2}}, {Values: []int{3, 4}},
+		}, "*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEntropy(tbl, []*hierarchy.Hierarchy{h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < h.NumNodes(); u++ {
+			c := e.Cost(0, u)
+			if c < 0 || c > math.Log2(float64(h.Size(u)))+eps {
+				t.Errorf("H(X|node %d) = %v out of [0, log2(%d)]", u, c, h.Size(u))
+			}
+		}
+	}
+}
+
+func TestSuppressionMeasure(t *testing.T) {
+	_, hiers := fourValueSetup(t)
+	sup := NewSuppression(hiers)
+	h := hiers[0]
+	if got := sup.Cost(0, h.LeafOf(0)); got != 0 {
+		t.Errorf("leaf suppression cost = %v, want 0", got)
+	}
+	if got := sup.Cost(0, h.Closure([]int{0, 1})); got != 0 {
+		t.Errorf("intermediate suppression cost = %v, want 0", got)
+	}
+	if got := sup.Cost(0, h.Root()); got != 1 {
+		t.Errorf("root suppression cost = %v, want 1", got)
+	}
+	if sup.Name() != "suppression" || sup.NumAttrs() != 1 {
+		t.Error("suppression identity wrong")
+	}
+	// On a single-value attribute the only node is simultaneously leaf and
+	// root; the leaf is unsuppressed data, so prefer counting it as such?
+	// MW's model has no single-value attributes; we charge it as
+	// suppressed-equals-kept (cost 1 at the root node, but the leaf node
+	// is the same subset). Verify the chosen convention is stable.
+	single := hierarchy.Flat(1)
+	s1 := NewSuppression([]*hierarchy.Hierarchy{single})
+	if got := s1.Cost(0, single.LeafOf(0)); got != 1 {
+		t.Errorf("single-value leaf cost = %v (the leaf equals the full domain)", got)
+	}
+}
+
+func TestSuppressionFractionOfEntries(t *testing.T) {
+	tbl, hiers := fourValueSetup(t)
+	sup := NewSuppression(hiers)
+	h := hiers[0]
+	g := table.NewGen(tbl.Schema, 4)
+	g.Records[0] = table.GenRecord{h.Root()}
+	g.Records[1] = table.GenRecord{h.LeafOf(1)}
+	g.Records[2] = table.GenRecord{h.Closure([]int{2, 3})}
+	g.Records[3] = table.GenRecord{h.Root()}
+	if got := TableLoss(sup, g); math.Abs(got-0.5) > eps {
+		t.Errorf("suppression fraction = %v, want 0.5", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	tbl, hiers := fourValueSetup(t)
+	e, _ := NewEntropy(tbl, hiers)
+	if e.Name() != "entropy" || e.NumAttrs() != 1 {
+		t.Error("entropy identity wrong")
+	}
+	l := NewLM(hiers)
+	if l.Name() != "LM" || l.NumAttrs() != 1 {
+		t.Error("LM identity wrong")
+	}
+	tr := NewTree(hiers)
+	if tr.Name() != "tree" || tr.NumAttrs() != 1 {
+		t.Error("tree identity wrong")
+	}
+}

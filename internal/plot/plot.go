@@ -1,0 +1,166 @@
+// Package plot renders minimal SVG line charts, stdlib-only. It exists so
+// the benchmark harness can regenerate Figures 2 and 3 of the paper as
+// actual figures, not just CSV series.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline: a name (for the legend) and (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Dashed bool
+}
+
+// Chart describes a line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+
+	// Width and Height are the SVG canvas size; zero means 640×440.
+	Width, Height int
+}
+
+// palette cycles through visually distinct stroke colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVG renders the chart. It returns an error if no series has points or a
+// series has mismatched X/Y lengths.
+func (c *Chart) SVG() (string, error) {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 440
+	}
+	const (
+		marginL = 70
+		marginR = 150
+		marginT = 40
+		marginB = 55
+	)
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+	if plotW <= 0 || plotH <= 0 {
+		return "", fmt.Errorf("plot: canvas %dx%d too small", w, h)
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	havePoints := false
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			havePoints = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !havePoints {
+		return "", fmt.Errorf("plot: no data points")
+	}
+	// Pad the y range a little; anchor at zero when close.
+	if minY > 0 && minY < 0.3*maxY {
+		minY = 0
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	yPad := (maxY - minY) * 0.08
+	maxY += yPad
+	if minY != 0 {
+		minY -= yPad
+	}
+
+	px := func(x float64) float64 { return float64(marginL) + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (1-(y-minY)/(maxY-minY))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW)/2, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, h-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, h-marginB, w-marginR, h-marginB)
+
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		xPix, yPix := px(fx), py(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			xPix, h-marginB, xPix, h-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			xPix, h-marginB+18, formatTick(fx))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, yPix, marginL, yPix)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-8, yPix+4, formatTick(fy))
+		// Light horizontal gridline.
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginL, yPix, w-marginR, yPix)
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW)/2, h-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+int(plotH)/2, marginT+int(plotH)/2, escape(c.YLabel))
+
+	// Series polylines, markers and legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2"%s points="%s"/>`+"\n",
+			color, dash, strings.Join(pts, " "))
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+		}
+		ly := marginT + 14 + si*20
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
+			w-marginR+10, ly, w-marginR+38, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			w-marginR+44, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// escape guards text nodes against markup.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

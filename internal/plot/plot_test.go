@@ -1,0 +1,92 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Comparison of algorithms",
+		XLabel: "k",
+		YLabel: "Information loss",
+		Series: []Series{
+			{Name: "k-anon.", X: []float64{5, 10, 15, 20}, Y: []float64{0.97, 1.27, 1.42, 1.53}},
+			{Name: "forest alg.", X: []float64{5, 10, 15, 20}, Y: []float64{1.36, 1.79, 1.92, 2.01}, Dashed: true},
+			{Name: "(k,k)-anon.", X: []float64{5, 10, 15, 20}, Y: []float64{0.82, 1.12, 1.27, 1.37}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "k-anon.", "forest alg.", "(k,k)-anon.", "Information loss"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		t.Errorf("%d polylines, want 3", got)
+	}
+	// 3 series × 4 points.
+	if got := strings.Count(svg, "<circle"); got != 12 {
+		t.Errorf("%d markers, want 12", got)
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("dashed series not dashed")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (&Chart{}).SVG(); err == nil {
+		t.Error("expected no-data error")
+	}
+	bad := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	tiny := sampleChart()
+	tiny.Width, tiny.Height = 10, 10
+	if _, err := tiny.SVG(); err == nil {
+		t.Error("expected tiny-canvas error")
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	// Single point: both ranges degenerate; must still render.
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{1}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Error("single point not rendered")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := sampleChart()
+	c.Title = "a < b & c"
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "a &lt; b &amp; c") {
+		t.Error("title not escaped")
+	}
+}

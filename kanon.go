@@ -1,0 +1,487 @@
+// Package kanon is a library for k-type anonymization of tabular microdata,
+// implementing the algorithms and anonymity notions of "k-Anonymization
+// Revisited" (Gionis, Mazza, Tassa; ICDE 2008).
+//
+// The paper relaxes classical k-anonymity through the consistency relation
+// between original and generalized records, yielding four additional
+// notions — (1,k)-, (k,1)-, (k,k)- and global (1,k)-anonymity — that admit
+// strictly higher-utility generalizations. kanon provides:
+//
+//   - agglomerative k-anonymization under local recoding (Algorithms 1–2
+//     with the four inter-cluster distances of the paper),
+//   - the forest algorithm of Aggarwal et al. as a baseline,
+//   - (k,k)-anonymization (Algorithms 3/4 coupled with Algorithm 5),
+//   - global (1,k)-anonymization via bipartite perfect-matching tests
+//     (Algorithm 6),
+//   - entropy, LM and tree information-loss measures, and
+//   - verifiers for every notion, plus distinct/entropy ℓ-diversity.
+//
+// A minimal use:
+//
+//	t, _ := kanon.LoadCSV(f, true)
+//	_ = t.SetHierarchiesJSON(specFile)
+//	res, _ := kanon.Anonymize(t, kanon.Options{K: 10, Notion: kanon.NotionKK})
+//	_ = res.WriteCSV(os.Stdout)
+package kanon
+
+import (
+	"fmt"
+	"io"
+
+	"kanon/internal/anonymity"
+	"kanon/internal/cluster"
+	"kanon/internal/core"
+	"kanon/internal/datagen"
+	"kanon/internal/dataio"
+	"kanon/internal/hierarchy"
+	"kanon/internal/loss"
+	"kanon/internal/risk"
+	"kanon/internal/table"
+)
+
+// Notion selects the anonymity guarantee the anonymizer must establish.
+type Notion string
+
+// The supported anonymity notions. NotionK is classical k-anonymity
+// (Definition 4.1); NotionKK is (k,k)-anonymity (Definition 4.4), the
+// paper's recommended practical choice; NotionGlobal1K is global
+// (1,k)-anonymity (Definition 4.6), as secure as k-anonymity even against
+// an adversary who knows exactly who is in the database.
+const (
+	NotionK        Notion = "k"
+	NotionKK       Notion = "kk"
+	NotionGlobal1K Notion = "global"
+)
+
+// MeasureName selects the information-loss measure.
+type MeasureName string
+
+// The supported measures: the entropy measure ΠE of Definition 4.3, its
+// monotone variant from Gionis–Tassa (ESA'07), the LM measure of eq. (4),
+// the tree measure of Aggarwal et al., and the suppression count of
+// Meyerson–Williams.
+const (
+	MeasureEntropy         MeasureName = "entropy"
+	MeasureMonotoneEntropy MeasureName = "monotone-entropy"
+	MeasureLM              MeasureName = "lm"
+	MeasureTree            MeasureName = "tree"
+	MeasureSuppression     MeasureName = "suppression"
+)
+
+// buildMeasure constructs the named measure for a table's hierarchies.
+func buildMeasure(t *Table, name MeasureName) (loss.Measure, error) {
+	switch name {
+	case MeasureEntropy:
+		return loss.NewEntropy(t.tbl, t.hiers)
+	case MeasureMonotoneEntropy:
+		return loss.NewMonotoneEntropy(t.tbl, t.hiers)
+	case MeasureLM:
+		return loss.NewLM(t.hiers), nil
+	case MeasureTree:
+		return loss.NewTree(t.hiers), nil
+	case MeasureSuppression:
+		return loss.NewSuppression(t.hiers), nil
+	default:
+		return nil, fmt.Errorf("kanon: unknown measure %q", name)
+	}
+}
+
+// Table is a dataset prepared for anonymization: public records plus one
+// generalization hierarchy per attribute (trivial suppress-only hierarchies
+// until configured otherwise).
+type Table struct {
+	tbl   *table.Table
+	hiers []*hierarchy.Hierarchy
+
+	sensitive       []int
+	sensitiveName   string
+	sensitiveValues []string
+}
+
+// LoadCSV reads a table of public attributes from CSV. When header is true
+// the first row names the attributes. All hierarchies start trivial
+// (each value may only be kept or fully suppressed); install richer ones
+// with SetHierarchiesJSON.
+func LoadCSV(r io.Reader, header bool) (*Table, error) {
+	tbl, err := dataio.ReadCSV(r, header)
+	if err != nil {
+		return nil, err
+	}
+	hiers := make([]*hierarchy.Hierarchy, tbl.Schema.NumAttrs())
+	for j, a := range tbl.Schema.Attrs {
+		hiers[j] = hierarchy.Flat(a.Size())
+	}
+	return &Table{tbl: tbl, hiers: hiers}, nil
+}
+
+// SetHierarchiesJSON installs generalization hierarchies from a JSON
+// specification (see internal/dataio.HierarchySpec for the format):
+//
+//	{"attributes": [{"attribute": "age",
+//	                 "subsets": [{"label": "30s", "values": ["30","31",...]}]}]}
+//
+// Attributes absent from the spec keep the trivial hierarchy.
+func (t *Table) SetHierarchiesJSON(r io.Reader) error {
+	hiers, err := dataio.LoadHierarchies(r, t.tbl.Schema)
+	if err != nil {
+		return err
+	}
+	t.hiers = hiers
+	return nil
+}
+
+// AutoHierarchies infers generalization hierarchies without a spec:
+// integer-valued attributes get interval hierarchies over their numeric
+// order (bucket widths doubling from baseWidth), everything else keeps
+// the trivial keep-or-suppress hierarchy. A quick default before writing
+// semantic hierarchies by hand.
+func (t *Table) AutoHierarchies(baseWidth int) error {
+	hiers, err := dataio.AutoHierarchies(t.tbl, baseWidth)
+	if err != nil {
+		return err
+	}
+	t.hiers = hiers
+	return nil
+}
+
+// ART returns the paper's artificial benchmark dataset with n records
+// (Section VI), generated deterministically from seed.
+func ART(n int, seed int64) *Table { return fromDataset(datagen.ART(n, seed)) }
+
+// Adult returns the synthetic Adult-census benchmark dataset (the paper's
+// ADT) with n records.
+func Adult(n int, seed int64) *Table { return fromDataset(datagen.Adult(n, seed)) }
+
+// CMC returns the synthetic contraceptive-survey benchmark dataset (the
+// paper's CMC) with n records.
+func CMC(n int, seed int64) *Table { return fromDataset(datagen.CMC(n, seed)) }
+
+func fromDataset(ds *datagen.Dataset) *Table {
+	return &Table{
+		tbl:             ds.Table,
+		hiers:           ds.Hiers,
+		sensitive:       ds.Sensitive,
+		sensitiveName:   ds.SensitiveName,
+		sensitiveValues: ds.SensitiveValues,
+	}
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return t.tbl.Len() }
+
+// NumAttrs returns the number of public attributes.
+func (t *Table) NumAttrs() int { return t.tbl.Schema.NumAttrs() }
+
+// AttrNames returns the public attribute names in schema order.
+func (t *Table) AttrNames() []string {
+	names := make([]string, t.tbl.Schema.NumAttrs())
+	for j, a := range t.tbl.Schema.Attrs {
+		names[j] = a.Name
+	}
+	return names
+}
+
+// Row returns record i as string values.
+func (t *Table) Row(i int) []string { return t.tbl.Strings(i) }
+
+// SensitiveValue returns the sensitive attribute of record i as a string,
+// for the built-in benchmark datasets ("" when no sensitive attribute is
+// attached).
+func (t *Table) SensitiveValue(i int) string {
+	if t.sensitive == nil {
+		return ""
+	}
+	return t.sensitiveValues[t.sensitive[i]]
+}
+
+// SetSensitive attaches a sensitive (private) attribute to the table: one
+// value per record, in record order. The sensitive attribute is never part
+// of the anonymized schema; it powers the Diversity option, ℓ-diversity
+// checks, and candidate-diversity reporting.
+func (t *Table) SetSensitive(name string, values []string) error {
+	if len(values) != t.tbl.Len() {
+		return fmt.Errorf("kanon: %d sensitive values for %d records", len(values), t.tbl.Len())
+	}
+	index := make(map[string]int)
+	ids := make([]int, len(values))
+	var domain []string
+	for i, v := range values {
+		id, ok := index[v]
+		if !ok {
+			id = len(domain)
+			index[v] = id
+			domain = append(domain, v)
+		}
+		ids[i] = id
+	}
+	t.sensitive = ids
+	t.sensitiveName = name
+	t.sensitiveValues = domain
+	return nil
+}
+
+// WriteCSV writes the original table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error { return dataio.WriteCSV(w, t.tbl) }
+
+// Options configures Anonymize.
+type Options struct {
+	// K is the anonymity parameter; required, ≥ 2 for any useful guarantee.
+	K int
+	// Notion is the guarantee to establish; default NotionKK.
+	Notion Notion
+	// Measure is the loss measure to optimize; default MeasureEntropy.
+	Measure MeasureName
+	// Distance names the agglomerative inter-cluster distance for NotionK
+	// ("d1".."d4", "nc"); default "d3". Ignored for the other notions.
+	Distance string
+	// Modified selects the modified agglomerative algorithm (Algorithm 2)
+	// for NotionK.
+	Modified bool
+	// UseNearest seeds the (k,k) pipeline with Algorithm 3 (nearest
+	// neighbours) instead of the default Algorithm 4 (greedy expansion).
+	UseNearest bool
+	// Forest replaces the agglomerative k-anonymizer with the Aggarwal et
+	// al. forest baseline for NotionK.
+	Forest bool
+	// FullDomain replaces local recoding with the optimal full-domain
+	// (global-recoding) generalization for NotionK — the Incognito-style
+	// baseline the paper's Section II contrasts local recoding with.
+	FullDomain bool
+	// Diversity, when ≥ 2, additionally enforces distinct ℓ-diversity of
+	// the sensitive attribute: for NotionK every equivalence class, and for
+	// NotionKK every record's candidate set, carries at least Diversity
+	// distinct sensitive values. The table must have a sensitive attribute
+	// (the built-in benchmark datasets do; SetSensitive attaches one).
+	Diversity int
+	// MaxChunk, when > 0, switches NotionK to the scalable partitioned
+	// agglomerative algorithm: records are pre-partitioned along the
+	// hierarchies into chunks of at most MaxChunk before clustering,
+	// trading a small utility penalty for near-linear scaling.
+	MaxChunk int
+}
+
+// Result is an anonymized table plus the context needed to inspect it.
+type Result struct {
+	table   *Table
+	gen     *table.GenTable
+	space   *cluster.Space
+	measure loss.Measure
+	opt     Options
+	// UpgradeStats is populated for NotionGlobal1K with the Algorithm 6
+	// work summary.
+	UpgradeStats core.Global1KStats
+}
+
+// Anonymize generalizes the table until it satisfies the requested notion,
+// minimizing the requested information-loss measure heuristically.
+func Anonymize(t *Table, opt Options) (*Result, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("kanon: Options.K must be ≥ 1, got %d", opt.K)
+	}
+	if opt.Notion == "" {
+		opt.Notion = NotionKK
+	}
+	if opt.Measure == "" {
+		opt.Measure = MeasureEntropy
+	}
+	if opt.Diversity >= 2 && t.sensitive == nil {
+		return nil, fmt.Errorf("kanon: Options.Diversity requires a table with a sensitive attribute")
+	}
+	m, err := buildMeasure(t, opt.Measure)
+	if err != nil {
+		return nil, err
+	}
+	s, err := cluster.NewSpace(t.hiers, m)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{table: t, space: s, measure: m, opt: opt}
+	switch opt.Notion {
+	case NotionK:
+		if opt.Forest && opt.FullDomain {
+			return nil, fmt.Errorf("kanon: Forest and FullDomain are mutually exclusive")
+		}
+		if opt.Forest || opt.FullDomain {
+			if opt.Diversity >= 2 {
+				return nil, fmt.Errorf("kanon: Diversity is not supported with the %s baseline",
+					map[bool]string{true: "forest", false: "full-domain"}[opt.Forest])
+			}
+			var g *table.GenTable
+			if opt.Forest {
+				g, _, err = core.Forest(s, t.tbl, opt.K)
+			} else {
+				g, _, err = core.FullDomain(s, t.tbl, opt.K)
+			}
+			if err != nil {
+				return nil, err
+			}
+			res.gen = g
+			return res, nil
+		}
+		distName := opt.Distance
+		if distName == "" {
+			distName = "d3"
+		}
+		dist := cluster.DistanceByName(distName)
+		if dist == nil {
+			return nil, fmt.Errorf("kanon: unknown distance %q", opt.Distance)
+		}
+		kopt := core.KAnonOptions{K: opt.K, Distance: dist, Modified: opt.Modified}
+		var g *table.GenTable
+		switch {
+		case opt.Diversity >= 2 && opt.MaxChunk > 0:
+			return nil, fmt.Errorf("kanon: Diversity and MaxChunk cannot be combined")
+		case opt.Diversity >= 2:
+			g, _, err = core.KAnonymizeDiverse(s, t.tbl, kopt, opt.Diversity, t.sensitive)
+		case opt.MaxChunk > 0:
+			g, _, err = core.KAnonymizePartitioned(s, t.tbl, core.PartitionedOptions{
+				K: opt.K, Distance: dist, Modified: opt.Modified, MaxChunk: opt.MaxChunk,
+			})
+		default:
+			g, _, err = core.KAnonymize(s, t.tbl, kopt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.gen = g
+	case NotionKK:
+		alg := core.K1ByExpansion
+		if opt.UseNearest {
+			alg = core.K1ByNearest
+		}
+		var g *table.GenTable
+		if opt.Diversity >= 2 {
+			g, err = core.KKAnonymizeDiverse(s, t.tbl, opt.K, opt.Diversity, alg, t.sensitive)
+		} else {
+			g, err = core.KKAnonymize(s, t.tbl, opt.K, alg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.gen = g
+	case NotionGlobal1K:
+		alg := core.K1ByExpansion
+		if opt.UseNearest {
+			alg = core.K1ByNearest
+		}
+		g, err := core.KKAnonymize(s, t.tbl, opt.K, alg)
+		if err != nil {
+			return nil, err
+		}
+		g, stats, err := core.MakeGlobal1K(s, t.tbl, g, opt.K)
+		if err != nil {
+			return nil, err
+		}
+		res.gen = g
+		res.UpgradeStats = stats
+	default:
+		return nil, fmt.Errorf("kanon: unknown notion %q", opt.Notion)
+	}
+	return res, nil
+}
+
+// Loss returns the information loss Π(D, g(D)) of the result under the
+// measure it was optimized for.
+func (r *Result) Loss() float64 { return loss.TableLoss(r.measure, r.gen) }
+
+// LossUnder returns the information loss under another measure.
+func (r *Result) LossUnder(name MeasureName) (float64, error) {
+	m, err := buildMeasure(r.table, name)
+	if err != nil {
+		return 0, err
+	}
+	return loss.TableLoss(m, r.gen), nil
+}
+
+// CandidateDiversity returns the minimum, over all original records, of
+// the number of distinct sensitive values among the released records
+// consistent with it — the first adversary's residual uncertainty about
+// the target's sensitive attribute (≥ Options.Diversity when that was
+// requested).
+func (r *Result) CandidateDiversity() (int, error) {
+	if r.table.sensitive == nil {
+		return 0, fmt.Errorf("kanon: table has no sensitive attribute")
+	}
+	return core.MinCandidateDiversity(r.space, r.table.tbl, r.gen, r.table.sensitive)
+}
+
+// Row returns generalized record i rendered as strings.
+func (r *Result) Row(i int) []string {
+	out := make([]string, len(r.gen.Records[i]))
+	for j, node := range r.gen.Records[i] {
+		out[j] = dataio.GenValueString(r.gen.Schema.Attrs[j], r.table.hiers[j], node)
+	}
+	return out
+}
+
+// Len returns the number of generalized records.
+func (r *Result) Len() int { return r.gen.Len() }
+
+// WriteCSV writes the generalized table as CSV.
+func (r *Result) WriteCSV(w io.Writer) error {
+	return dataio.WriteGenCSV(w, r.gen, r.table.hiers)
+}
+
+// Discernibility returns the DM metric of the result (Σ of squared
+// equivalence-class sizes).
+func (r *Result) Discernibility() int { return loss.Discernibility(r.gen) }
+
+// Verify checks the result against every anonymity notion for the given k
+// and returns the report.
+func (r *Result) Verify(k int) anonymity.Report {
+	return anonymity.Check(r.space, r.table.tbl, r.gen, k)
+}
+
+// IsDistinctLDiverse reports whether the result's equivalence classes each
+// contain at least l distinct sensitive values (only for tables carrying a
+// sensitive attribute).
+func (r *Result) IsDistinctLDiverse(l int) (bool, error) {
+	if r.table.sensitive == nil {
+		return false, fmt.Errorf("kanon: table has no sensitive attribute")
+	}
+	return anonymity.IsDistinctLDiverse(r.gen, r.table.sensitive, l)
+}
+
+// GroupSizes returns the sorted equivalence-class sizes of the generalized
+// table.
+func (r *Result) GroupSizes() []int { return r.gen.GroupSizes() }
+
+// RiskSummary reports standard re-identification risk metrics for the
+// release under a given adversary model.
+type RiskSummary struct {
+	// Journalist is the maximum per-record re-identification probability.
+	Journalist float64
+	// Marketer is the expected fraction of records an indiscriminate
+	// linker re-identifies.
+	Marketer float64
+	// AtRisk counts records with fewer than k candidates.
+	AtRisk int
+}
+
+// Risk computes re-identification risk for the release. model selects the
+// adversary: "class" (equivalence classes, the classical view),
+// "neighbors" (the paper's first adversary) or "matches" (the second
+// adversary, perfect-matching analysis). k sets the AtRisk threshold.
+func (r *Result) Risk(model string, k int) (RiskSummary, error) {
+	var m risk.Model
+	switch model {
+	case "class":
+		m = risk.ByClass
+	case "neighbors":
+		m = risk.ByNeighbors
+	case "matches":
+		m = risk.ByMatches
+	default:
+		return RiskSummary{}, fmt.Errorf("kanon: unknown risk model %q", model)
+	}
+	rep, err := risk.Assess(r.space, r.table.tbl, r.gen, m)
+	if err != nil {
+		return RiskSummary{}, err
+	}
+	return RiskSummary{
+		Journalist: rep.Journalist,
+		Marketer:   rep.Marketer,
+		AtRisk:     rep.AtRiskCount(k),
+	}, nil
+}
