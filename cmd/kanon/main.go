@@ -40,6 +40,7 @@ func main() {
 		diversity = flag.Int("diversity", 0, "require distinct ℓ-diversity of the sensitive attribute (needs -sensitive)")
 		sensPath  = flag.String("sensitive", "", "file with one sensitive value per record (enables -diversity)")
 		autoHier  = flag.Int("auto-hier", 0, "infer interval hierarchies for numeric attributes (base bucket width, 0=off)")
+		workers   = flag.Int("workers", 0, "worker pool size for the parallel anonymizers (0 = all CPUs, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		FullDomain: *fullDom,
 		UseNearest: *nearest,
 		Diversity:  *diversity,
+		Workers:    *workers,
 	}, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "kanon:", err)
 		os.Exit(1)

@@ -38,6 +38,7 @@ func main() {
 		nART    = flag.Int("n-art", 0, "override ART size")
 		nADT    = flag.Int("n-adt", 0, "override ADT size")
 		nCMC    = flag.Int("n-cmc", 0, "override CMC size")
+		workers = flag.Int("workers", 0, "worker pool size for runs and engines (0 = all CPUs, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Verify = *verify
+	cfg.Workers = *workers
 	if *nART > 0 {
 		cfg.NART = *nART
 	}

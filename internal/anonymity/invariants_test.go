@@ -1,0 +1,194 @@
+package anonymity
+
+import (
+	"math/rand"
+	"testing"
+
+	"kanon/internal/cluster"
+	"kanon/internal/core"
+	"kanon/internal/hierarchy"
+	"kanon/internal/loss"
+	"kanon/internal/table"
+)
+
+// invariantSpace builds a seeded random 3-attribute table with
+// interval/subset hierarchies under the LM measure, the shared fixture of
+// the property tests below.
+func invariantSpace(t *testing.T, seed int64, n int) (*cluster.Space, *table.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	schema := table.MustSchema(
+		table.MustAttribute("a", []string{"0", "1", "2", "3", "4", "5", "6", "7"}),
+		table.MustAttribute("b", []string{"x", "y", "z", "w"}),
+		table.MustAttribute("c", []string{"p", "q"}),
+	)
+	tbl := table.New(schema)
+	for i := 0; i < n; i++ {
+		tbl.MustAppend(table.Record{rng.Intn(8), rng.Intn(4), rng.Intn(2)})
+	}
+	ha, err := hierarchy.Intervals(8, []int{2, 4}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := hierarchy.FromSubsets(4, []hierarchy.Subset{{Values: []int{0, 1}}, {Values: []int{2, 3}}}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiers := []*hierarchy.Hierarchy{ha, hb, hierarchy.Flat(2)}
+	s, err := cluster.NewSpace(hiers, loss.NewLM(hiers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tbl
+}
+
+// TestInvariantsAgglomerate: over seeded random tables, every clustering of
+// the agglomerative engine — basic and modified, sequential and parallel —
+// satisfies the structural invariants, and its generalization satisfies
+// claimed k-anonymity.
+func TestInvariantsAgglomerate(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, n := range []int{30, 90} {
+			s, tbl := invariantSpace(t, seed, n)
+			for _, k := range []int{2, 7} {
+				for _, modified := range []bool{false, true} {
+					for _, workers := range []int{1, 4} {
+						clusters, err := cluster.Agglomerate(s, tbl, cluster.AggloOptions{
+							K: k, Distance: cluster.D3{}, Modified: modified, Workers: workers,
+						})
+						if err != nil {
+							t.Fatalf("seed=%d n=%d k=%d modified=%v workers=%d: %v", seed, n, k, modified, workers, err)
+						}
+						if err := VerifyClustering(s, tbl, clusters, k); err != nil {
+							t.Errorf("seed=%d n=%d k=%d modified=%v workers=%d: %v", seed, n, k, modified, workers, err)
+						}
+						g := cluster.ToGenTable(tbl.Schema, tbl.Len(), clusters)
+						if err := VerifyClaim(s, tbl, g, k, ClaimK); err != nil {
+							t.Errorf("seed=%d n=%d k=%d modified=%v workers=%d: %v", seed, n, k, modified, workers, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantsForest: the forest baseline's clusterings and outputs
+// satisfy the same invariants and claim.
+func TestInvariantsForest(t *testing.T) {
+	for _, seed := range []int64{4, 5} {
+		s, tbl := invariantSpace(t, seed, 80)
+		for _, k := range []int{2, 5} {
+			g, clusters, err := core.Forest(s, tbl, k)
+			if err != nil {
+				t.Fatalf("seed=%d k=%d: %v", seed, k, err)
+			}
+			if err := VerifyClustering(s, tbl, clusters, k); err != nil {
+				t.Errorf("seed=%d k=%d: %v", seed, k, err)
+			}
+			if err := VerifyClaim(s, tbl, g, k, ClaimK); err != nil {
+				t.Errorf("seed=%d k=%d: %v", seed, k, err)
+			}
+		}
+	}
+}
+
+// TestInvariantsK1: Algorithms 3 and 4 claim (k,1)-anonymity; their outputs
+// must verify against the definition at every worker count.
+func TestInvariantsK1(t *testing.T) {
+	for _, seed := range []int64{6, 7} {
+		s, tbl := invariantSpace(t, seed, 60)
+		for _, k := range []int{2, 5} {
+			for _, workers := range []int{1, 4} {
+				gn, err := core.K1NearestWorkers(s, tbl, k, workers)
+				if err != nil {
+					t.Fatalf("nearest seed=%d k=%d workers=%d: %v", seed, k, workers, err)
+				}
+				if err := VerifyClaim(s, tbl, gn, k, ClaimK1); err != nil {
+					t.Errorf("nearest seed=%d k=%d workers=%d: %v", seed, k, workers, err)
+				}
+				ge, err := core.K1ExpandWorkers(s, tbl, k, workers)
+				if err != nil {
+					t.Fatalf("expand seed=%d k=%d workers=%d: %v", seed, k, workers, err)
+				}
+				if err := VerifyClaim(s, tbl, ge, k, ClaimK1); err != nil {
+					t.Errorf("expand seed=%d k=%d workers=%d: %v", seed, k, workers, err)
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantsKK: the coupled pipelines claim (k,k)-anonymity.
+func TestInvariantsKK(t *testing.T) {
+	for _, seed := range []int64{8, 9} {
+		s, tbl := invariantSpace(t, seed, 60)
+		for _, k := range []int{2, 5} {
+			for _, alg := range []core.K1Algorithm{core.K1ByNearest, core.K1ByExpansion} {
+				for _, workers := range []int{1, 4} {
+					g, err := core.KKAnonymizeWorkers(s, tbl, k, alg, workers)
+					if err != nil {
+						t.Fatalf("%s seed=%d k=%d workers=%d: %v", alg, seed, k, workers, err)
+					}
+					if err := VerifyClaim(s, tbl, g, k, ClaimKK); err != nil {
+						t.Errorf("%s seed=%d k=%d workers=%d: %v", alg, seed, k, workers, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyClusteringRejects: the checker actually fires on broken
+// clusterings — undersized clusters, overlapping members, missing records,
+// stale closures and stale costs.
+func TestVerifyClusteringRejects(t *testing.T) {
+	s, tbl := invariantSpace(t, 10, 20)
+	good, err := cluster.Agglomerate(s, tbl, cluster.AggloOptions{K: 4, Distance: cluster.D3{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyClustering(s, tbl, good, 4); err != nil {
+		t.Fatalf("valid clustering rejected: %v", err)
+	}
+
+	breakers := []struct {
+		name string
+		mut  func(cs []*cluster.Cluster) []*cluster.Cluster
+	}{
+		{"undersized", func(cs []*cluster.Cluster) []*cluster.Cluster {
+			cs[0] = s.NewCluster(tbl, cs[0].Members[:1])
+			return cs
+		}},
+		{"overlap", func(cs []*cluster.Cluster) []*cluster.Cluster {
+			cs[0] = s.NewCluster(tbl, append(append([]int(nil), cs[0].Members...), cs[1].Members[0]))
+			return cs
+		}},
+		{"missing record", func(cs []*cluster.Cluster) []*cluster.Cluster {
+			return cs[1:]
+		}},
+		{"stale closure", func(cs []*cluster.Cluster) []*cluster.Cluster {
+			c := *cs[0]
+			c.Closure = c.Closure.Clone()
+			if root := s.Hiers[0].Root(); c.Closure[0] != root {
+				c.Closure[0] = root
+			} else {
+				c.Closure[0] = s.Hiers[0].LeafOf(tbl.Records[c.Members[0]][0])
+			}
+			cs[0] = &c
+			return cs
+		}},
+		{"stale cost", func(cs []*cluster.Cluster) []*cluster.Cluster {
+			c := *cs[0]
+			c.Cost += 1
+			cs[0] = &c
+			return cs
+		}},
+	}
+	for _, b := range breakers {
+		cs := b.mut(append([]*cluster.Cluster(nil), good...))
+		if err := VerifyClustering(s, tbl, cs, 4); err == nil {
+			t.Errorf("%s clustering passed verification", b.name)
+		}
+	}
+}

@@ -3,7 +3,10 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
+	"kanon/internal/par"
 	"kanon/internal/table"
 )
 
@@ -26,6 +29,44 @@ type AggloOptions struct {
 	// framework. Sensitive must then hold one value per record.
 	MinDiversity int
 	Sensitive    []int
+
+	// Workers caps the engine's worker pool: 1 forces the purely sequential
+	// path, 0 (the default) sizes the pool to runtime.NumCPU(). Sharding is
+	// deterministic and every tie is broken toward the lowest cluster id,
+	// so any worker count produces the identical clustering.
+	Workers int
+}
+
+// AggloStats reports the work an engine run performed and where its wall
+// time went, so speedups are measurable rather than anecdotal.
+type AggloStats struct {
+	// Workers is the resolved worker-pool size of the run.
+	Workers int `json:"workers"`
+	// DistEvals counts inter-cluster distance evaluations, the engine's
+	// unit of work; it is identical at every worker count.
+	DistEvals int64 `json:"dist_evals"`
+	// Merges counts cluster merges (iterations of the main loop).
+	Merges int64 `json:"merges"`
+	// RepairScans counts full nearest-neighbour rescans forced by a cluster
+	// losing both cached neighbours in one merge — the engine's rare slow
+	// path.
+	RepairScans int64 `json:"repair_scans"`
+	// InitNanos is the wall time of singleton construction plus the initial
+	// O(n²) nearest-neighbour build.
+	InitNanos int64 `json:"init_ns"`
+	// SelectNanos is the wall time of best-pair selection and merge/shrink
+	// bookkeeping across all iterations.
+	SelectNanos int64 `json:"select_ns"`
+	// RepairNanos is the wall time of nearest-neighbour repair across all
+	// iterations.
+	RepairNanos int64 `json:"repair_ns"`
+	// AbsorbNanos is the wall time of the final leftover-absorption pass.
+	AbsorbNanos int64 `json:"absorb_ns"`
+}
+
+// TotalNanos returns the summed phase wall time.
+func (st AggloStats) TotalNanos() int64 {
+	return st.InitNanos + st.SelectNanos + st.RepairNanos + st.AbsorbNanos
 }
 
 // Agglomerate runs the basic agglomerative algorithm (Algorithm 1) — or,
@@ -34,28 +75,36 @@ type AggloOptions struct {
 // covering all records, each of size ≥ K (exactly K for all but the
 // leftover-absorbing clusters in the modified variant).
 func Agglomerate(s *Space, tbl *table.Table, opt AggloOptions) ([]*Cluster, error) {
+	clusters, _, err := AgglomerateStats(s, tbl, opt)
+	return clusters, err
+}
+
+// AgglomerateStats is Agglomerate returning the engine's work counters and
+// phase timings alongside the clustering.
+func AgglomerateStats(s *Space, tbl *table.Table, opt AggloOptions) ([]*Cluster, AggloStats, error) {
+	stats := AggloStats{Workers: par.Workers(opt.Workers)}
 	n := tbl.Len()
 	if opt.Distance == nil {
-		return nil, fmt.Errorf("cluster: nil distance")
+		return nil, stats, fmt.Errorf("cluster: nil distance")
 	}
 	if opt.K > n {
-		return nil, fmt.Errorf("cluster: k=%d exceeds table size n=%d", opt.K, n)
+		return nil, stats, fmt.Errorf("cluster: k=%d exceeds table size n=%d", opt.K, n)
 	}
 	if opt.MinDiversity > 1 {
 		if len(opt.Sensitive) != n {
-			return nil, fmt.Errorf("cluster: %d sensitive values for %d records", len(opt.Sensitive), n)
+			return nil, stats, fmt.Errorf("cluster: %d sensitive values for %d records", len(opt.Sensitive), n)
 		}
 		distinct := make(map[int]bool)
 		for _, v := range opt.Sensitive {
 			distinct[v] = true
 		}
 		if len(distinct) < opt.MinDiversity {
-			return nil, fmt.Errorf("cluster: table has %d distinct sensitive values, %d-diversity unattainable",
+			return nil, stats, fmt.Errorf("cluster: table has %d distinct sensitive values, %d-diversity unattainable",
 				len(distinct), opt.MinDiversity)
 		}
 	}
 	if n == 0 {
-		return nil, nil
+		return nil, stats, nil
 	}
 	if opt.K <= 1 && opt.MinDiversity <= 1 {
 		// Every singleton already satisfies the size constraint; the optimal
@@ -64,13 +113,27 @@ func Agglomerate(s *Space, tbl *table.Table, opt AggloOptions) ([]*Cluster, erro
 		for i := 0; i < n; i++ {
 			out[i] = s.NewSingleton(tbl, i)
 		}
-		return out, nil
+		return out, stats, nil
 	}
 
 	e := &aggloEngine{s: s, tbl: tbl, opt: opt}
 	e.run()
-	return e.final, nil
+	e.stats.Workers = stats.Workers
+	return e.final, e.stats, nil
 }
+
+// Work-sharding grains: the minimum number of items per span before a loop
+// is handed to the pool. Items of the initial build are whole O(n) scans
+// (always worth sharding); repair-sweep and wide-scan items are a handful
+// of distance evaluations; selection items are single float compares.
+// Grains only trade dispatch overhead against parallelism — the result is
+// identical either way.
+const (
+	initScanGrain = 1
+	repairGrain   = 192
+	wideScanGrain = 384
+	selectGrain   = 2048
+)
 
 // aggloEngine maintains, for every live cluster, its exact nearest live
 // neighbour (nn1) plus a cached second-nearest (nn2) that is either exact
@@ -87,10 +150,24 @@ func Agglomerate(s *Space, tbl *table.Table, opt AggloOptions) ([]*Cluster, erro
 // This keeps every merge at O(live·r) even when one cluster is the nearest
 // neighbour of everyone (the typical regime under distances (10) and (11)),
 // for the paper's O(n²) total.
+//
+// Parallel execution shards three loops over the worker pool, all with
+// deterministic lowest-id tie-breaking so any worker count reproduces the
+// sequential clustering exactly:
+//
+//   - the initial nearest-neighbour build (one scan per record);
+//   - the per-merge repair sweep (per-cluster fix-ups, writes confined to
+//     each cluster's own nn slots);
+//   - single-cluster rescans and best-pair selection, which are
+//     min-reductions: every span reports its local best(s) and the spans
+//     are folded in ascending id order with strict-< comparisons,
+//     reproducing the sequential left-to-right scan.
 type aggloEngine struct {
 	s   *Space
 	tbl *table.Table
 	opt AggloOptions
+
+	pool *par.Pool
 
 	nodes []*Cluster
 	alive []bool
@@ -99,11 +176,38 @@ type aggloEngine struct {
 	nn1, nn2 []int // -1: none/unknown
 	d1, d2   []float64
 
+	// Per-span scratch, reused across pool calls (one call in flight at a
+	// time): fold inputs for wide scans and selection, and per-span
+	// distance-evaluation counts.
+	spanCand  []nnCand
+	spanBest  []int
+	spanBestD []float64
+	spanEvals []int64
+	needScan  []bool
+
+	distEvals atomic.Int64
+	stats     AggloStats
+
 	final []*Cluster
+}
+
+// nnCand is an exact top-2 nearest-neighbour result over some id range.
+type nnCand struct {
+	nn1, nn2 int
+	d1, d2   float64
 }
 
 func (e *aggloEngine) run() {
 	n := e.tbl.Len()
+	e.pool = par.New(e.opt.Workers)
+	defer e.pool.Close()
+	w := e.pool.Size()
+	e.spanCand = make([]nnCand, w)
+	e.spanBest = make([]int, w)
+	e.spanBestD = make([]float64, w)
+	e.spanEvals = make([]int64, w)
+
+	t0 := time.Now()
 	e.nodes = make([]*Cluster, 0, 2*n)
 	e.alive = make([]bool, 0, 2*n)
 	e.nn1 = make([]int, 0, 2*n)
@@ -113,18 +217,19 @@ func (e *aggloEngine) run() {
 	for i := 0; i < n; i++ {
 		e.push(e.s.NewSingleton(e.tbl, i))
 	}
-	for i := range e.nodes {
-		e.scanNN(i)
-	}
+	// Initial nearest-neighbour build: one independent scan per cluster.
+	e.pool.ForSpans(n, initScanGrain, func(lo, hi, _ int) {
+		evals := int64(0)
+		for i := lo; i < hi; i++ {
+			evals += e.scanNN(i)
+		}
+		e.distEvals.Add(evals)
+	})
+	e.stats.InitNanos = time.Since(t0).Nanoseconds()
 
 	for e.nLive > 1 {
-		// Find the closest ordered pair among live clusters.
-		best, bestDist := -1, math.Inf(1)
-		for i, ok := range e.alive {
-			if ok && e.nn1[i] >= 0 && e.d1[i] < bestDist {
-				best, bestDist = i, e.d1[i]
-			}
-		}
+		tSel := time.Now()
+		best := e.bestLive()
 		if best < 0 {
 			break // defensive: cannot happen with nLive > 1
 		}
@@ -145,11 +250,16 @@ func (e *aggloEngine) run() {
 		} else {
 			added = append(added, e.push(merged))
 		}
+		tRep := time.Now()
+		e.stats.SelectNanos += tRep.Sub(tSel).Nanoseconds()
 		e.repairNN(a, b, added)
+		e.stats.RepairNanos += time.Since(tRep).Nanoseconds()
+		e.stats.Merges++
 	}
 
 	// At most one undersized cluster remains; distribute its records to the
 	// nearest final clusters (Algorithm 1, line 10).
+	tAbs := time.Now()
 	for i, ok := range e.alive {
 		if !ok {
 			continue
@@ -158,6 +268,8 @@ func (e *aggloEngine) run() {
 			e.absorb(ri)
 		}
 	}
+	e.stats.AbsorbNanos = time.Since(tAbs).Nanoseconds()
+	e.stats.DistEvals = e.distEvals.Load()
 }
 
 // push appends a cluster to the arena as live and returns its id.
@@ -180,7 +292,9 @@ func (e *aggloEngine) kill(id int) {
 	}
 }
 
-// dist evaluates dist(A, B) for clusters a, b without allocating.
+// dist evaluates dist(A, B) for clusters a, b without allocating. It reads
+// only immutable state (closures, hierarchies, cost tables) and is safe to
+// call from pool workers.
 func (e *aggloEngine) dist(a, b int) float64 {
 	ca, cb := e.nodes[a], e.nodes[b]
 	r := e.s.NumAttrs()
@@ -193,31 +307,127 @@ func (e *aggloEngine) dist(a, b int) float64 {
 	return e.opt.Distance.Eval(ca.Size(), cb.Size(), ca.Size()+cb.Size(), ca.Cost, cb.Cost, dU)
 }
 
-// scanNN rescans all live clusters to find i's nearest and second-nearest
-// neighbours exactly.
-func (e *aggloEngine) scanNN(i int) {
-	e.nn1[i], e.d1[i] = -1, math.Inf(1)
-	e.nn2[i], e.d2[i] = -1, math.Inf(1)
-	if !e.alive[i] {
-		return
+// bestLive returns the live cluster minimizing d1, ties broken toward the
+// lowest id — exactly the left-to-right sequential argmin.
+func (e *aggloEngine) bestLive() int {
+	m := len(e.nodes)
+	if e.pool.Size() <= 1 || m < 2*selectGrain {
+		best, bestDist := -1, math.Inf(1)
+		for i := 0; i < m; i++ {
+			if e.alive[i] && e.nn1[i] >= 0 && e.d1[i] < bestDist {
+				best, bestDist = i, e.d1[i]
+			}
+		}
+		return best
 	}
-	for j, ok := range e.alive {
-		if !ok || j == i {
+	spans := e.pool.ForSpans(m, selectGrain, func(lo, hi, w int) {
+		best, bestDist := -1, math.Inf(1)
+		for i := lo; i < hi; i++ {
+			if e.alive[i] && e.nn1[i] >= 0 && e.d1[i] < bestDist {
+				best, bestDist = i, e.d1[i]
+			}
+		}
+		e.spanBest[w], e.spanBestD[w] = best, bestDist
+	})
+	// Fold in ascending span order with strict < so ties keep the lowest id.
+	best, bestDist := -1, math.Inf(1)
+	for w := 0; w < spans; w++ {
+		if e.spanBest[w] >= 0 && e.spanBestD[w] < bestDist {
+			best, bestDist = e.spanBest[w], e.spanBestD[w]
+		}
+	}
+	return best
+}
+
+// scanRange computes i's exact top-2 nearest neighbours among live clusters
+// with ids in [lo, hi), excluding i itself, plus the number of distance
+// evaluations spent. Ties go to the lowest id: the top-2 are minimal under
+// the lexicographic order (distance, id).
+func (e *aggloEngine) scanRange(i, lo, hi int) (nnCand, int64) {
+	c := nnCand{nn1: -1, nn2: -1, d1: math.Inf(1), d2: math.Inf(1)}
+	evals := int64(0)
+	for j := lo; j < hi; j++ {
+		if !e.alive[j] || j == i {
 			continue
 		}
 		d := e.dist(i, j)
+		evals++
 		switch {
-		case d < e.d1[i]:
-			e.nn2[i], e.d2[i] = e.nn1[i], e.d1[i]
-			e.nn1[i], e.d1[i] = j, d
-		case d < e.d2[i]:
-			e.nn2[i], e.d2[i] = j, d
+		case d < c.d1:
+			c.nn2, c.d2 = c.nn1, c.d1
+			c.nn1, c.d1 = j, d
+		case d < c.d2:
+			c.nn2, c.d2 = j, d
 		}
 	}
+	return c, evals
+}
+
+// scanNN rescans all live clusters to find i's nearest and second-nearest
+// neighbours exactly, sequentially, returning the distance evaluations
+// spent. It writes only i's nn slots.
+func (e *aggloEngine) scanNN(i int) int64 {
+	if !e.alive[i] {
+		e.nn1[i], e.d1[i] = -1, math.Inf(1)
+		e.nn2[i], e.d2[i] = -1, math.Inf(1)
+		return 0
+	}
+	c, evals := e.scanRange(i, 0, len(e.nodes))
+	e.nn1[i], e.d1[i] = c.nn1, c.d1
+	e.nn2[i], e.d2[i] = c.nn2, c.d2
+	return evals
+}
+
+// scanNNWide is scanNN with the id range sharded across the pool. Each span
+// reports its local top-2; the spans are folded in ascending order, so for
+// equal distances the candidate with the lowest id is inserted first and
+// strict-< comparisons reproduce the sequential scan bit for bit.
+func (e *aggloEngine) scanNNWide(i int) {
+	m := len(e.nodes)
+	if e.pool.Size() <= 1 || m < 2*wideScanGrain {
+		e.distEvals.Add(e.scanNN(i))
+		return
+	}
+	if !e.alive[i] {
+		e.nn1[i], e.d1[i] = -1, math.Inf(1)
+		e.nn2[i], e.d2[i] = -1, math.Inf(1)
+		return
+	}
+	spans := e.pool.ForSpans(m, wideScanGrain, func(lo, hi, w int) {
+		e.spanCand[w], e.spanEvals[w] = e.scanRange(i, lo, hi)
+	})
+	best := nnCand{nn1: -1, nn2: -1, d1: math.Inf(1), d2: math.Inf(1)}
+	evals := int64(0)
+	for w := 0; w < spans; w++ {
+		evals += e.spanEvals[w]
+		sc := e.spanCand[w]
+		for _, cand := range [2]struct {
+			j int
+			d float64
+		}{{sc.nn1, sc.d1}, {sc.nn2, sc.d2}} {
+			if cand.j < 0 {
+				continue
+			}
+			switch {
+			case cand.d < best.d1:
+				best.nn2, best.d2 = best.nn1, best.d1
+				best.nn1, best.d1 = cand.j, cand.d
+			case cand.d < best.d2:
+				best.nn2, best.d2 = cand.j, cand.d
+			}
+		}
+	}
+	e.nn1[i], e.d1[i] = best.nn1, best.d1
+	e.nn2[i], e.d2[i] = best.nn2, best.d2
+	e.distEvals.Add(evals)
 }
 
 // repairNN restores the nearest-neighbour invariant after clusters a and b
-// died and the clusters in added were born.
+// died and the clusters in added were born. The per-cluster fix-up sweep is
+// sharded across the pool — each cluster's update reads shared immutable
+// state and writes only its own nn slots — and the full rescans that
+// double-loss clusters and newborns require run afterwards in ascending id
+// order, each itself sharded when the arena is large.
 func (e *aggloEngine) repairNN(a, b int, added []int) {
 	isAdded := func(id int) bool {
 		for _, x := range added {
@@ -229,41 +439,55 @@ func (e *aggloEngine) repairNN(a, b int, added []int) {
 	}
 	dead := func(id int) bool { return id == a || id == b }
 
-	var rescan []int
-	for i, ok := range e.alive {
-		if !ok || isAdded(i) {
-			continue
-		}
-		if dead(e.nn1[i]) {
-			if e.nn2[i] >= 0 && !dead(e.nn2[i]) {
-				// The exact runner-up becomes the nearest; the new
-				// runner-up is unknown.
-				e.nn1[i], e.d1[i] = e.nn2[i], e.d2[i]
-				e.nn2[i], e.d2[i] = -1, math.Inf(1)
-			} else {
-				rescan = append(rescan, i)
+	m := len(e.nodes)
+	if cap(e.needScan) < m {
+		e.needScan = make([]bool, 2*m)
+	}
+	needScan := e.needScan[:m]
+
+	e.pool.ForSpans(m, repairGrain, func(lo, hi, _ int) {
+		evals := int64(0)
+		for i := lo; i < hi; i++ {
+			if !e.alive[i] || isAdded(i) {
 				continue
 			}
-		} else if dead(e.nn2[i]) {
-			e.nn2[i], e.d2[i] = -1, math.Inf(1)
-		}
-		// Offer each newborn as a candidate.
-		for _, m := range added {
-			d := e.dist(i, m)
-			switch {
-			case d < e.d1[i]:
-				e.nn2[i], e.d2[i] = e.nn1[i], e.d1[i]
-				e.nn1[i], e.d1[i] = m, d
-			case e.nn2[i] >= 0 && d < e.d2[i]:
-				e.nn2[i], e.d2[i] = m, d
+			if dead(e.nn1[i]) {
+				if e.nn2[i] >= 0 && !dead(e.nn2[i]) {
+					// The exact runner-up becomes the nearest; the new
+					// runner-up is unknown.
+					e.nn1[i], e.d1[i] = e.nn2[i], e.d2[i]
+					e.nn2[i], e.d2[i] = -1, math.Inf(1)
+				} else {
+					needScan[i] = true
+					continue
+				}
+			} else if dead(e.nn2[i]) {
+				e.nn2[i], e.d2[i] = -1, math.Inf(1)
+			}
+			// Offer each newborn as a candidate.
+			for _, nb := range added {
+				d := e.dist(i, nb)
+				evals++
+				switch {
+				case d < e.d1[i]:
+					e.nn2[i], e.d2[i] = e.nn1[i], e.d1[i]
+					e.nn1[i], e.d1[i] = nb, d
+				case e.nn2[i] >= 0 && d < e.d2[i]:
+					e.nn2[i], e.d2[i] = nb, d
+				}
 			}
 		}
+		e.distEvals.Add(evals)
+	})
+	for i := 0; i < m; i++ {
+		if needScan[i] {
+			needScan[i] = false
+			e.stats.RepairScans++
+			e.scanNNWide(i)
+		}
 	}
-	for _, i := range rescan {
-		e.scanNN(i)
-	}
-	for _, m := range added {
-		e.scanNN(m)
+	for _, nb := range added {
+		e.scanNNWide(nb)
 	}
 }
 
@@ -308,6 +532,7 @@ func (e *aggloEngine) shrink(c *Cluster) []int {
 	for c.Size() > e.opt.K {
 		bestIdx, bestD := -1, math.Inf(-1)
 		var bestRest *Cluster
+		evals := int64(0)
 		for mi := range c.Members {
 			rest := make([]int, 0, c.Size()-1)
 			rest = append(rest, c.Members[:mi]...)
@@ -318,10 +543,12 @@ func (e *aggloEngine) shrink(c *Cluster) []int {
 			restCl := e.s.NewCluster(e.tbl, rest)
 			// dist(Ŝ, Ŝ\{R̂_i}): the union of the two sets is Ŝ itself.
 			d := e.opt.Distance.Eval(c.Size(), restCl.Size(), c.Size(), c.Cost, restCl.Cost, c.Cost)
+			evals++
 			if d > bestD {
 				bestIdx, bestD, bestRest = mi, d, restCl
 			}
 		}
+		e.distEvals.Add(evals)
 		if bestIdx < 0 {
 			break // every eviction would break diversity
 		}
@@ -334,7 +561,8 @@ func (e *aggloEngine) shrink(c *Cluster) []int {
 }
 
 // absorb adds record ri to the final cluster minimizing dist({R_ri}, S),
-// updating that cluster's closure and cost.
+// updating that cluster's closure and cost. Absorption order matters (each
+// absorption widens a final closure), so this stays sequential.
 func (e *aggloEngine) absorb(ri int) {
 	single := e.s.NewSingleton(e.tbl, ri)
 	bestIdx, bestD := -1, math.Inf(1)
@@ -351,6 +579,7 @@ func (e *aggloEngine) absorb(ri int) {
 			bestIdx, bestD = fi, d
 		}
 	}
+	e.distEvals.Add(int64(len(e.final)))
 	if bestIdx < 0 {
 		// No final cluster exists (n < 2k and everything stayed unripe is
 		// excluded by the k ≤ n guard, but stay safe): promote the singleton.

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"kanon/internal/datagen"
@@ -48,6 +50,31 @@ func BenchmarkAgglomerateModified500(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Agglomerate(s, ds.Table, AggloOptions{K: 10, Distance: D3{}, Modified: true}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAgglomerateWorkers compares the sequential engine against the
+// parallel one at NumCPU workers across table sizes (the BENCH_cluster.json
+// numbers). On a single-CPU machine both run the same sequential schedule,
+// so parity — not speedup — is the expected reading there.
+func BenchmarkAgglomerateWorkers(b *testing.B) {
+	for _, n := range []int{1000, 2000, 5000} {
+		s, ds := benchSpace(b, n)
+		workerCounts := []int{1}
+		if cpus := runtime.NumCPU(); cpus > 1 {
+			workerCounts = append(workerCounts, cpus)
+		} else {
+			workerCounts = append(workerCounts, 4)
+		}
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Agglomerate(s, ds.Table, AggloOptions{K: 10, Distance: D3{}, Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

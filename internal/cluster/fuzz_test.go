@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"testing"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/loss"
+	"kanon/internal/table"
+)
+
+// fuzzSpace is the fixed 3-attribute space of randomSpace, shared by every
+// fuzz invocation (the hierarchies are immutable).
+func fuzzSpace(t *testing.T) *Space {
+	t.Helper()
+	ha, err := hierarchy.Intervals(8, []int{2, 4}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := hierarchy.FromSubsets(4, []hierarchy.Subset{{Values: []int{0, 1}}, {Values: []int{2, 3}}}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiers := []*hierarchy.Hierarchy{ha, hb, hierarchy.Flat(2)}
+	s, err := NewSpace(hiers, loss.NewLM(hiers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// fuzzTable decodes a table of at most 32 records from raw bytes: two bytes
+// per record choose the three attribute values and a sensitive value.
+func fuzzTable(data []byte) (*table.Table, []int) {
+	schema := table.MustSchema(
+		table.MustAttribute("a", []string{"0", "1", "2", "3", "4", "5", "6", "7"}),
+		table.MustAttribute("b", []string{"x", "y", "z", "w"}),
+		table.MustAttribute("c", []string{"p", "q"}),
+	)
+	tbl := table.New(schema)
+	var sensitive []int
+	n := len(data) / 2
+	if n > 32 {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		b0, b1 := data[2*i], data[2*i+1]
+		tbl.MustAppend(table.Record{int(b0 % 8), int(b0 / 8 % 4), int(b1 % 2)})
+		sensitive = append(sensitive, int(b1/2%4))
+	}
+	return tbl, sensitive
+}
+
+// FuzzAgglomerate drives the engine over small random tables: whatever the
+// input, the engine must not panic, must either reject the options
+// identically at every worker count or return a clustering satisfying the
+// structural invariants, and the parallel clustering must equal the
+// sequential one exactly.
+func FuzzAgglomerate(f *testing.F) {
+	f.Add([]byte{0x00}, uint8(2), uint8(0), uint8(0))
+	f.Add([]byte{0x01, 0x02, 0x13, 0x24, 0x35, 0x46, 0x57, 0x68, 0x79, 0x8a}, uint8(3), uint8(2), uint8(1))
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0xfc, 0x01, 0x02, 0x03, 0x04}, uint8(2), uint8(3), uint8(3))
+	f.Add([]byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0x11, 0x22, 0x33, 0x44}, uint8(4), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, kb, distSel, mode uint8) {
+		s := fuzzSpace(t)
+		tbl, sensitive := fuzzTable(data)
+		dists := AllDistances()
+		opt := AggloOptions{
+			K:        int(kb%34) - 1, // −1..32: exercises the k<0, k=0 and k>n rejections too
+			Distance: dists[int(distSel)%len(dists)],
+			Modified: mode&1 != 0,
+			Workers:  1,
+		}
+		if mode&2 != 0 {
+			opt.MinDiversity = 2
+			opt.Sensitive = sensitive
+		}
+		seq, seqErr := Agglomerate(s, tbl, opt)
+		for _, w := range []int{2, 4} {
+			opt.Workers = w
+			par, parErr := Agglomerate(s, tbl, opt)
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("workers=%d: sequential err=%v, parallel err=%v", w, seqErr, parErr)
+			}
+			if seqErr != nil {
+				continue
+			}
+			assertSameClustering(t, "fuzz", seq, par)
+		}
+		if seqErr != nil {
+			return
+		}
+		minSize := opt.K
+		if minSize < 1 {
+			minSize = 1
+		}
+		checkClustering(t, s, tbl, seq, minSize)
+		if opt.MinDiversity > 1 {
+			for ci, c := range seq {
+				distinct := make(map[int]bool)
+				for _, i := range c.Members {
+					distinct[sensitive[i]] = true
+				}
+				if len(distinct) < opt.MinDiversity {
+					t.Errorf("cluster %d has %d distinct sensitive values, want ≥ %d", ci, len(distinct), opt.MinDiversity)
+				}
+			}
+		}
+	})
+}

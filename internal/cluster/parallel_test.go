@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kanon/internal/datagen"
+	"kanon/internal/loss"
+	"kanon/internal/table"
+)
+
+// assertSameClustering fails unless the two clusterings are identical:
+// same cluster count, and cluster-by-cluster the same members (in order),
+// closures and cached costs.
+func assertSameClustering(t *testing.T, label string, want, got []*Cluster) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d clusters sequentially, %d in parallel", label, len(want), len(got))
+	}
+	for ci := range want {
+		w, g := want[ci], got[ci]
+		if len(w.Members) != len(g.Members) {
+			t.Fatalf("%s: cluster %d has %d members sequentially, %d in parallel", label, ci, len(w.Members), len(g.Members))
+		}
+		for mi := range w.Members {
+			if w.Members[mi] != g.Members[mi] {
+				t.Fatalf("%s: cluster %d member %d differs: %d vs %d", label, ci, mi, w.Members[mi], g.Members[mi])
+			}
+		}
+		if !w.Closure.Equal(g.Closure) {
+			t.Fatalf("%s: cluster %d closure differs", label, ci)
+		}
+		if w.Cost != g.Cost {
+			t.Fatalf("%s: cluster %d cost differs: %v vs %v", label, ci, w.Cost, g.Cost)
+		}
+	}
+}
+
+// equivalenceSizes is the n sweep of the parallel-vs-sequential matrix.
+// The n=1000 leg dominates the package's test time; -short drops it.
+func equivalenceSizes(t *testing.T) []int {
+	if testing.Short() {
+		return []int{50, 200}
+	}
+	return []int{50, 200, 1000}
+}
+
+var equivalenceWorkers = []int{2, 4, 8}
+
+// TestParallelEquivalenceBasic runs the full equivalence matrix for the
+// basic engine (Algorithm 1): for every table size, every paper distance
+// and every k, the parallel engine at 2, 4 and 8 workers must return the
+// exact clustering of the sequential engine.
+func TestParallelEquivalenceBasic(t *testing.T) {
+	testParallelEquivalence(t, false)
+}
+
+// TestParallelEquivalenceModified is the same matrix through the
+// Algorithm 2 (Modified) path, whose shrink/re-seed step exercises
+// mid-merge arena growth.
+func TestParallelEquivalenceModified(t *testing.T) {
+	testParallelEquivalence(t, true)
+}
+
+func testParallelEquivalence(t *testing.T, modified bool) {
+	for _, n := range equivalenceSizes(t) {
+		s, tbl := randomSpace(t, rand.New(rand.NewSource(int64(7000+n))), n)
+		for _, dist := range PaperDistances() {
+			for _, k := range []int{2, 5, 10} {
+				opt := AggloOptions{K: k, Distance: dist, Modified: modified, Workers: 1}
+				seq, err := Agglomerate(s, tbl, opt)
+				if err != nil {
+					t.Fatalf("n=%d %s k=%d: %v", n, dist.Name(), k, err)
+				}
+				checkClustering(t, s, tbl, seq, k)
+				for _, w := range equivalenceWorkers {
+					opt.Workers = w
+					par, err := Agglomerate(s, tbl, opt)
+					if err != nil {
+						t.Fatalf("n=%d %s k=%d workers=%d: %v", n, dist.Name(), k, w, err)
+					}
+					label := fmt.Sprintf("n=%d %s k=%d modified=%v workers=%d", n, dist.Name(), k, modified, w)
+					assertSameClustering(t, label, seq, par)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEquivalenceMinDiversity runs the matrix through the
+// ℓ-diversity ripeness path, which gates merges on sensitive-value counts
+// and (under Modified) skips diversity-breaking evictions.
+func TestParallelEquivalenceMinDiversity(t *testing.T) {
+	for _, n := range []int{50, 200} {
+		rng := rand.New(rand.NewSource(int64(8000 + n)))
+		s, tbl := randomSpace(t, rng, n)
+		sens := make([]int, n)
+		for i := range sens {
+			sens[i] = rng.Intn(3)
+		}
+		for _, dist := range PaperDistances() {
+			for _, k := range []int{2, 5, 10} {
+				for _, modified := range []bool{false, true} {
+					opt := AggloOptions{
+						K: k, Distance: dist, Modified: modified,
+						MinDiversity: 2, Sensitive: sens, Workers: 1,
+					}
+					seq, err := Agglomerate(s, tbl, opt)
+					if err != nil {
+						t.Fatalf("n=%d %s k=%d modified=%v: %v", n, dist.Name(), k, modified, err)
+					}
+					for _, w := range equivalenceWorkers {
+						opt.Workers = w
+						par, err := Agglomerate(s, tbl, opt)
+						if err != nil {
+							t.Fatalf("n=%d %s k=%d modified=%v workers=%d: %v", n, dist.Name(), k, modified, w, err)
+						}
+						label := fmt.Sprintf("n=%d %s k=%d modified=%v l=2 workers=%d", n, dist.Name(), k, modified, w)
+						assertSameClustering(t, label, seq, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAgglomerateStatsCounters sanity-checks the engine's work counters:
+// the distance-evaluation count is worker-invariant, merges and phase
+// timings are populated, and the initial build alone costs n·(n−1) evals.
+func TestAgglomerateStatsCounters(t *testing.T) {
+	const n = 120
+	s, tbl := randomSpace(t, rand.New(rand.NewSource(90)), n)
+	_, seqStats, err := AgglomerateStats(s, tbl, AggloOptions{K: 5, Distance: D3{}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqStats.Workers != 1 {
+		t.Errorf("sequential stats report %d workers", seqStats.Workers)
+	}
+	if seqStats.DistEvals < int64(n)*int64(n-1) {
+		t.Errorf("DistEvals = %d, want ≥ n(n−1) = %d from the initial build", seqStats.DistEvals, n*(n-1))
+	}
+	if seqStats.Merges == 0 {
+		t.Error("Merges = 0")
+	}
+	if seqStats.TotalNanos() <= 0 {
+		t.Error("no phase wall time recorded")
+	}
+	for _, w := range []int{2, 4} {
+		_, parStats, err := AgglomerateStats(s, tbl, AggloOptions{K: 5, Distance: D3{}, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parStats.Workers != w {
+			t.Errorf("workers=%d stats report %d workers", w, parStats.Workers)
+		}
+		if parStats.DistEvals != seqStats.DistEvals {
+			t.Errorf("workers=%d: DistEvals = %d, sequential did %d — work must be worker-invariant",
+				w, parStats.DistEvals, seqStats.DistEvals)
+		}
+		if parStats.Merges != seqStats.Merges {
+			t.Errorf("workers=%d: Merges = %d, sequential did %d", w, parStats.Merges, seqStats.Merges)
+		}
+		if parStats.RepairScans != seqStats.RepairScans {
+			t.Errorf("workers=%d: RepairScans = %d, sequential did %d", w, parStats.RepairScans, seqStats.RepairScans)
+		}
+	}
+}
+
+// TestParallelEquivalenceADT repeats the equivalence check on the richer
+// benchmark schema used by the benchmarks (8 attributes, deep interval
+// hierarchies) rather than the 3-attribute random table, at one
+// representative configuration per distance.
+func TestParallelEquivalenceADT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ADT equivalence leg skipped in -short mode")
+	}
+	s, tbl := adultSpace(t, 400)
+	for _, dist := range PaperDistances() {
+		opt := AggloOptions{K: 10, Distance: dist, Workers: 1}
+		seq, err := Agglomerate(s, tbl, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range equivalenceWorkers {
+			opt.Workers = w
+			par, err := Agglomerate(s, tbl, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameClustering(t, fmt.Sprintf("ADT %s workers=%d", dist.Name(), w), seq, par)
+		}
+	}
+}
+
+// adultSpace builds the ADT benchmark dataset and an entropy-measure space
+// for it, mirroring benchSpace without the *testing.B receiver.
+func adultSpace(t *testing.T, n int) (*Space, *table.Table) {
+	t.Helper()
+	ds := datagen.Adult(n, 1)
+	em, err := loss.NewEntropy(ds.Table, ds.Hiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSpace(ds.Hiers, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ds.Table
+}

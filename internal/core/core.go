@@ -32,28 +32,40 @@ type KAnonOptions struct {
 	Distance cluster.Distance
 	// Modified selects Algorithm 2 (shrink ripe clusters to exactly K).
 	Modified bool
+	// Workers caps the clustering engine's worker pool: 1 forces the
+	// sequential path, 0 sizes the pool to the machine. Any worker count
+	// produces the identical output.
+	Workers int
 }
 
 // KAnonymize runs the (basic or modified) agglomerative algorithm and
 // returns the k-anonymized table together with the underlying clustering.
 func KAnonymize(s *cluster.Space, tbl *table.Table, opt KAnonOptions) (*table.GenTable, []*cluster.Cluster, error) {
+	g, clusters, _, err := KAnonymizeStats(s, tbl, opt)
+	return g, clusters, err
+}
+
+// KAnonymizeStats is KAnonymize exposing the engine's work counters and
+// phase timings alongside the result.
+func KAnonymizeStats(s *cluster.Space, tbl *table.Table, opt KAnonOptions) (*table.GenTable, []*cluster.Cluster, cluster.AggloStats, error) {
 	if opt.K < 1 {
-		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
+		return nil, nil, cluster.AggloStats{}, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
 	}
 	dist := opt.Distance
 	if dist == nil {
 		dist = cluster.D3{}
 	}
-	clusters, err := cluster.Agglomerate(s, tbl, cluster.AggloOptions{
+	clusters, stats, err := cluster.AgglomerateStats(s, tbl, cluster.AggloOptions{
 		K:        opt.K,
 		Distance: dist,
 		Modified: opt.Modified,
+		Workers:  opt.Workers,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, stats, err
 	}
 	g := cluster.ToGenTable(tbl.Schema, tbl.Len(), clusters)
-	return g, clusters, nil
+	return g, clusters, stats, nil
 }
 
 // pairCost returns d({R_i, R_j}): the generalization cost of the closure of

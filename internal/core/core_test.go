@@ -499,21 +499,37 @@ func TestPairCostSymmetric(t *testing.T) {
 	}
 }
 
-func TestParallelRecordsCoversAll(t *testing.T) {
-	hits := make([]int, 100)
-	parallelRecords(100, func(i int) { hits[i]++ })
-	for i, h := range hits {
-		if h != 1 {
-			t.Fatalf("index %d hit %d times", i, h)
+// TestK1WorkersEquivalence: Algorithms 3 and 4 must return the identical
+// generalized table at any worker count.
+func TestK1WorkersEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s, tbl := testSpace(t, rng, 60, "entropy")
+	const k = 5
+	for _, tc := range []struct {
+		name string
+		run  func(workers int) (*table.GenTable, error)
+	}{
+		{"nearest", func(w int) (*table.GenTable, error) { return K1NearestWorkers(s, tbl, k, w) }},
+		{"expand", func(w int) (*table.GenTable, error) { return K1ExpandWorkers(s, tbl, k, w) }},
+	} {
+		seq, err := tc.run(1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", tc.name, err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			got, err := tc.run(w)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, w, err)
+			}
+			for i := range seq.Records {
+				for a := range seq.Records[i] {
+					if seq.Records[i][a] != got.Records[i][a] {
+						t.Fatalf("%s workers=%d: record %d attr %d differs", tc.name, w, i, a)
+					}
+				}
+			}
 		}
 	}
-	// Tiny n exercises the sequential path.
-	one := make([]int, 1)
-	parallelRecords(1, func(i int) { one[i]++ })
-	if one[0] != 1 {
-		t.Error("sequential path broken")
-	}
-	parallelRecords(0, func(i int) { t.Error("fn called for n=0") })
 }
 
 // TestMake1KIdempotent: once (1,k) holds, re-running Algorithm 5 must be a

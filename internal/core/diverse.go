@@ -31,6 +31,7 @@ func KAnonymizeDiverse(s *cluster.Space, tbl *table.Table, opt KAnonOptions, l i
 		Modified:     opt.Modified,
 		MinDiversity: l,
 		Sensitive:    sensitive,
+		Workers:      opt.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -133,16 +134,14 @@ func Make1KDiverse(s *cluster.Space, tbl *table.Table, g *table.GenTable, k, l i
 // result is a (k,k)-anonymization whose per-record candidate sets are
 // distinct l-diverse.
 func KKAnonymizeDiverse(s *cluster.Space, tbl *table.Table, k, l int, alg K1Algorithm, sensitive []int) (*table.GenTable, error) {
-	var g *table.GenTable
-	var err error
-	switch alg {
-	case K1ByNearest:
-		g, err = K1Nearest(s, tbl, k)
-	case K1ByExpansion:
-		g, err = K1Expand(s, tbl, k)
-	default:
-		return nil, fmt.Errorf("core: unknown (k,1) algorithm %d", alg)
-	}
+	return KKAnonymizeDiverseWorkers(s, tbl, k, l, alg, sensitive, 0)
+}
+
+// KKAnonymizeDiverseWorkers is KKAnonymizeDiverse with the (k,1) stage
+// running on a pool of Workers(workers) workers; the output is identical at
+// any worker count.
+func KKAnonymizeDiverseWorkers(s *cluster.Space, tbl *table.Table, k, l int, alg K1Algorithm, sensitive []int, workers int) (*table.GenTable, error) {
+	g, err := runK1(s, tbl, k, alg, workers)
 	if err != nil {
 		return nil, err
 	}

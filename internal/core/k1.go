@@ -3,11 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"kanon/internal/cluster"
+	"kanon/internal/par"
 	"kanon/internal/table"
 )
 
@@ -15,14 +14,24 @@ import (
 // Every record R_i is replaced by the closure of {R_i} together with the
 // k−1 records closest to it under the pair cost d({R_i, R_j}). The output
 // approximates the optimal (k,1)-anonymization within a factor of k−1
-// (Proposition 5.1). Records are processed independently in parallel.
+// (Proposition 5.1). Records are processed independently in parallel on a
+// machine-sized pool; K1NearestWorkers controls the pool size.
 func K1Nearest(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, error) {
+	return K1NearestWorkers(s, tbl, k, 0)
+}
+
+// K1NearestWorkers is K1Nearest on a pool of Workers(workers) workers.
+// Every record's neighbourhood is computed independently, so the worker
+// count never changes the output.
+func K1NearestWorkers(s *cluster.Space, tbl *table.Table, k, workers int) (*table.GenTable, error) {
 	n := tbl.Len()
 	if err := checkK1Args(n, k); err != nil {
 		return nil, err
 	}
 	g := table.NewGen(tbl.Schema, n)
-	parallelRecords(n, func(i int) {
+	p := par.New(workers)
+	defer p.Close()
+	p.Each(n, func(i int) {
 		// Find the k−1 smallest pair costs; ties broken by lower index.
 		type cand struct {
 			j int
@@ -56,15 +65,25 @@ func K1Nearest(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, erro
 // the record R_j ∉ S_i minimizing dist(S_i, R_j) = d(S_i ∪ {R_j}) − d(S_i),
 // until |S_i| = k; R̄_i is the closure of S_i. In the paper's experiments
 // this consistently beats Algorithm 3 despite lacking its approximation
-// guarantee. Records are processed independently in parallel.
+// guarantee. Records are processed independently in parallel on a
+// machine-sized pool; K1ExpandWorkers controls the pool size.
 func K1Expand(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, error) {
+	return K1ExpandWorkers(s, tbl, k, 0)
+}
+
+// K1ExpandWorkers is K1Expand on a pool of Workers(workers) workers.
+// Every record's cluster is grown independently, so the worker count never
+// changes the output.
+func K1ExpandWorkers(s *cluster.Space, tbl *table.Table, k, workers int) (*table.GenTable, error) {
 	n := tbl.Len()
 	if err := checkK1Args(n, k); err != nil {
 		return nil, err
 	}
 	g := table.NewGen(tbl.Schema, n)
 	r := s.NumAttrs()
-	parallelRecords(n, func(i int) {
+	p := par.New(workers)
+	defer p.Close()
+	p.Each(n, func(i int) {
 		inS := make([]bool, n)
 		inS[i] = true
 		closure := s.LeafClosure(tbl.Records[i])
@@ -106,36 +125,4 @@ func checkK1Args(n, k int) error {
 		return fmt.Errorf("core: k=%d exceeds table size n=%d", k, n)
 	}
 	return nil
-}
-
-// parallelRecords applies fn to every record index using a worker pool.
-// fn must only write to per-index state, so results are deterministic
-// regardless of scheduling.
-func parallelRecords(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

@@ -104,18 +104,29 @@ func (a K1Algorithm) String() string {
 // (k,1)-anonymizer (Algorithm 3 or 4) with the (1,k)-anonymizer
 // (Algorithm 5), as prescribed in Section V-B.
 func KKAnonymize(s *cluster.Space, tbl *table.Table, k int, alg K1Algorithm) (*table.GenTable, error) {
-	var g *table.GenTable
-	var err error
-	switch alg {
-	case K1ByNearest:
-		g, err = K1Nearest(s, tbl, k)
-	case K1ByExpansion:
-		g, err = K1Expand(s, tbl, k)
-	default:
-		return nil, fmt.Errorf("core: unknown (k,1) algorithm %d", alg)
-	}
+	return KKAnonymizeWorkers(s, tbl, k, alg, 0)
+}
+
+// KKAnonymizeWorkers is KKAnonymize with the (k,1) stage running on a pool
+// of Workers(workers) workers. The Algorithm 5 post-pass is sequential (its
+// in-place widenings are order-dependent), so the output is identical at
+// any worker count.
+func KKAnonymizeWorkers(s *cluster.Space, tbl *table.Table, k int, alg K1Algorithm, workers int) (*table.GenTable, error) {
+	g, err := runK1(s, tbl, k, alg, workers)
 	if err != nil {
 		return nil, err
 	}
 	return Make1K(s, tbl, g, k)
+}
+
+// runK1 dispatches to the selected (k,1)-anonymizer.
+func runK1(s *cluster.Space, tbl *table.Table, k int, alg K1Algorithm, workers int) (*table.GenTable, error) {
+	switch alg {
+	case K1ByNearest:
+		return K1NearestWorkers(s, tbl, k, workers)
+	case K1ByExpansion:
+		return K1ExpandWorkers(s, tbl, k, workers)
+	default:
+		return nil, fmt.Errorf("core: unknown (k,1) algorithm %d", alg)
+	}
 }

@@ -19,6 +19,8 @@ type PartitionedOptions struct {
 	// MaxChunk bounds the size of the chunks handed to the quadratic
 	// agglomerative engine; defaults to 512.
 	MaxChunk int
+	// Workers caps each chunk engine's worker pool (see KAnonOptions.Workers).
+	Workers int
 }
 
 // KAnonymizePartitioned addresses the paper's Section VII call for "more
@@ -67,6 +69,7 @@ func KAnonymizePartitioned(s *cluster.Space, tbl *table.Table, opt PartitionedOp
 			K:        opt.K,
 			Distance: dist,
 			Modified: opt.Modified,
+			Workers:  opt.Workers,
 		})
 		if err != nil {
 			return nil, nil, err

@@ -9,15 +9,15 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
+	"time"
 
 	"kanon/internal/anonymity"
 	"kanon/internal/cluster"
 	"kanon/internal/core"
 	"kanon/internal/datagen"
 	"kanon/internal/loss"
+	"kanon/internal/par"
 	"kanon/internal/table"
 )
 
@@ -33,6 +33,10 @@ type Config struct {
 	// Verify re-checks every output against the anonymity verifiers
 	// (quadratic; intended for small harness runs).
 	Verify bool
+	// Workers caps the worker pool driving the runs of a block and is also
+	// handed down to the parallel engines inside each run; 0 sizes the pool
+	// to the machine. Any value produces identical results.
+	Workers int
 	// Log, when non-nil, receives one line per completed run. It is
 	// excluded from JSON output.
 	Log io.Writer `json:"-"`
@@ -69,6 +73,11 @@ type Run struct {
 	// Verified is set when Config.Verify is on and the output passed the
 	// verifier for the notion the algorithm claims.
 	Verified bool
+	// Millis is the run's wall time.
+	Millis int64
+	// Engine carries the clustering engine's work counters and phase
+	// timings for the agglomerative runs (nil for the other algorithms).
+	Engine *cluster.AggloStats `json:",omitempty"`
 }
 
 // Series is an algorithm's loss as a function of k.
@@ -105,6 +114,11 @@ type Block struct {
 	// Ks, as the paper's Table I reports.
 	BestKAnon Series
 	BestKK    Series
+
+	// Runs holds every individual run of the block (with per-run timings
+	// and engine counters); Millis is the block's total wall time.
+	Runs   []Run
+	Millis int64
 }
 
 // dataset materializes one of the paper's three datasets per the config.
@@ -194,7 +208,7 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 	type job struct {
 		algorithm string
 		k         int
-		run       func() (*table.GenTable, error)
+		run       func() (*table.GenTable, *cluster.AggloStats, error)
 		verify    func(g *table.GenTable, k int) bool
 	}
 	var jobs []job
@@ -205,55 +219,59 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 		v := v
 		for _, k := range c.Ks {
 			k := k
-			jobs = append(jobs, job{v.name, k, func() (*table.GenTable, error) {
-				g, _, err := core.KAnonymize(s, ds.Table, core.KAnonOptions{K: k, Distance: v.dist, Modified: v.modified})
-				return g, err
+			jobs = append(jobs, job{v.name, k, func() (*table.GenTable, *cluster.AggloStats, error) {
+				g, _, st, err := core.KAnonymizeStats(s, ds.Table, core.KAnonOptions{
+					K: k, Distance: v.dist, Modified: v.modified, Workers: c.Workers,
+				})
+				return g, &st, err
 			}, verifyKAnon})
 		}
 	}
 	for _, k := range c.Ks {
 		k := k
-		jobs = append(jobs, job{"forest", k, func() (*table.GenTable, error) {
+		jobs = append(jobs, job{"forest", k, func() (*table.GenTable, *cluster.AggloStats, error) {
 			g, _, err := core.Forest(s, ds.Table, k)
-			return g, err
+			return g, nil, err
 		}, verifyKAnon})
-		jobs = append(jobs, job{"kk-nearest", k, func() (*table.GenTable, error) {
-			return core.KKAnonymize(s, ds.Table, k, core.K1ByNearest)
+		jobs = append(jobs, job{"kk-nearest", k, func() (*table.GenTable, *cluster.AggloStats, error) {
+			g, err := core.KKAnonymizeWorkers(s, ds.Table, k, core.K1ByNearest, c.Workers)
+			return g, nil, err
 		}, verifyKK})
-		jobs = append(jobs, job{"kk-expand", k, func() (*table.GenTable, error) {
-			return core.KKAnonymize(s, ds.Table, k, core.K1ByExpansion)
+		jobs = append(jobs, job{"kk-expand", k, func() (*table.GenTable, *cluster.AggloStats, error) {
+			g, err := core.KKAnonymizeWorkers(s, ds.Table, k, core.K1ByExpansion, c.Workers)
+			return g, nil, err
 		}, verifyKK})
 	}
 
+	blockStart := time.Now()
 	results := make([]Run, len(jobs))
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ji := range jobs {
-		wg.Add(1)
-		go func(ji int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			j := jobs[ji]
-			g, err := j.run()
-			if err != nil {
-				errs[ji] = fmt.Errorf("%s/%s/%s k=%d: %w", dataset, m, j.algorithm, j.k, err)
+	p := par.New(c.Workers)
+	defer p.Close()
+	p.Each(len(jobs), func(ji int) {
+		j := jobs[ji]
+		start := time.Now()
+		g, engine, err := j.run()
+		if err != nil {
+			errs[ji] = fmt.Errorf("%s/%s/%s k=%d: %w", dataset, m, j.algorithm, j.k, err)
+			return
+		}
+		r := Run{
+			Dataset: dataset, Measure: m, Algorithm: j.algorithm, K: j.k,
+			Loss:   loss.TableLoss(meas, g),
+			Millis: time.Since(start).Milliseconds(),
+			Engine: engine,
+		}
+		if c.Verify {
+			r.Verified = j.verify(g, j.k)
+			if !r.Verified {
+				errs[ji] = fmt.Errorf("%s/%s/%s k=%d: output failed verification", dataset, m, j.algorithm, j.k)
 				return
 			}
-			r := Run{Dataset: dataset, Measure: m, Algorithm: j.algorithm, K: j.k, Loss: loss.TableLoss(meas, g)}
-			if c.Verify {
-				r.Verified = j.verify(g, j.k)
-				if !r.Verified {
-					errs[ji] = fmt.Errorf("%s/%s/%s k=%d: output failed verification", dataset, m, j.algorithm, j.k)
-					return
-				}
-			}
-			results[ji] = r
-			c.logf("done %-8s %-2s %-16s k=%-3d loss=%.4f", dataset, m, j.algorithm, j.k, r.Loss)
-		}(ji)
-	}
-	wg.Wait()
+		}
+		results[ji] = r
+		c.logf("done %-8s %-2s %-16s k=%-3d loss=%.4f (%dms)", dataset, m, j.algorithm, j.k, r.Loss, r.Millis)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -270,7 +288,11 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 		s.Losses[r.K] = r.Loss
 		byAlg[r.Algorithm] = s
 	}
-	b := &Block{Dataset: dataset, Measure: m, Ks: append([]int(nil), c.Ks...)}
+	b := &Block{
+		Dataset: dataset, Measure: m, Ks: append([]int(nil), c.Ks...),
+		Runs:   results,
+		Millis: time.Since(blockStart).Milliseconds(),
+	}
 	for _, v := range kAnonVariants() {
 		b.KAnonVariants = append(b.KAnonVariants, byAlg[v.name])
 	}

@@ -1,0 +1,170 @@
+// Package par provides the bounded worker pool shared by the clustering
+// engine (internal/cluster), the (k,1)/(k,k) pipelines (internal/core) and
+// the experiment driver (internal/experiment).
+//
+// The pool offers two scheduling disciplines:
+//
+//   - For / ForSpans shard an index range into contiguous spans whose
+//     boundaries depend only on (n, grain, Size()) — never on scheduling —
+//     so deterministic engines can fan out work and still produce
+//     bit-identical results at any worker count;
+//   - Each hands out indices dynamically (an atomic cursor), which suits
+//     heterogeneous tasks such as whole experiment cells. Callers must
+//     confine writes per index, which also keeps results deterministic.
+//
+// Task submission never blocks: if no helper goroutine is free the
+// submitting goroutine runs the task inline, so pools cannot deadlock even
+// when nested or shared.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values ≤ 0 select
+// runtime.NumCPU(), anything positive is returned unchanged.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.NumCPU()
+}
+
+// Pool is a bounded worker pool. The zero value is not usable; call New.
+// A Pool is intended to be driven from one goroutine at a time (the engines
+// each own one); the helper goroutines themselves are of course concurrent.
+type Pool struct {
+	workers int
+	tasks   chan func()
+}
+
+// New builds a pool of Workers(workers) workers. A pool with more than one
+// worker owns workers−1 helper goroutines — the submitting goroutine acts
+// as the last worker — which Close releases.
+func New(workers int) *Pool {
+	p := &Pool{workers: Workers(workers)}
+	if p.workers > 1 {
+		// Small buffer so a burst of submissions does not force the
+		// caller inline while helpers are between tasks. Helpers range
+		// over a local copy of the channel: Close nils the field, and the
+		// field write must not race with helper startup.
+		tasks := make(chan func(), p.workers-1)
+		p.tasks = tasks
+		for i := 0; i < p.workers-1; i++ {
+			go func() {
+				for task := range tasks {
+					task()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return p.workers }
+
+// Close releases the helper goroutines. The pool must not be used after.
+func (p *Pool) Close() {
+	if p.tasks != nil {
+		close(p.tasks)
+		p.tasks = nil
+	}
+}
+
+// ForSpans splits [0, n) into at most Size() contiguous spans of at least
+// grain indices each and runs fn(lo, hi, span) for every span concurrently,
+// returning once all spans finished. Span indices are dense in [0, spans)
+// and ascend with the ranges they cover; the split depends only on
+// (n, grain, Size()). fn must confine its writes to its index range or to
+// span-indexed state. Returns the number of spans used.
+func (p *Pool) ForSpans(n, grain int, fn func(lo, hi, span int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	spans := p.workers
+	if most := n / grain; spans > most {
+		spans = most
+	}
+	if spans <= 1 || p.tasks == nil {
+		fn(0, n, 0)
+		return 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(spans - 1)
+	for w := spans - 1; w >= 1; w-- {
+		lo, hi, span := n*w/spans, n*(w+1)/spans, w
+		task := func() {
+			defer wg.Done()
+			fn(lo, hi, span)
+		}
+		select {
+		case p.tasks <- task:
+		default:
+			task() // no helper free: run inline rather than block
+		}
+	}
+	fn(0, n/spans, 0)
+	wg.Wait()
+	return spans
+}
+
+// For runs fn(i) for every i in [0, n), sharded into contiguous spans of at
+// least grain indices. fn must confine its writes to per-index state.
+func (p *Pool) For(n, grain int, fn func(i int)) {
+	p.ForSpans(n, grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Each runs fn(i) for every i in [0, n) with dynamic scheduling: workers
+// pull the next index from a shared atomic cursor, so long tasks do not
+// stall a whole span. Use for heterogeneous task durations. fn must confine
+// its writes to per-index state, which also keeps results deterministic.
+func (p *Pool) Each(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.tasks == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	loop := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for w := 0; w < helpers; w++ {
+		task := func() {
+			defer wg.Done()
+			loop()
+		}
+		select {
+		case p.tasks <- task:
+		default:
+			task()
+		}
+	}
+	loop()
+	wg.Wait()
+}

@@ -258,6 +258,10 @@ type Options struct {
 	// hierarchies into chunks of at most MaxChunk before clustering,
 	// trading a small utility penalty for near-linear scaling.
 	MaxChunk int
+	// Workers caps the worker pools of the parallel anonymizers: 1 forces
+	// the sequential paths, 0 (the default) sizes the pools to the machine.
+	// The output is identical at any worker count.
+	Workers int
 }
 
 // Result is an anonymized table plus the context needed to inspect it.
@@ -327,7 +331,7 @@ func Anonymize(t *Table, opt Options) (*Result, error) {
 		if dist == nil {
 			return nil, fmt.Errorf("kanon: unknown distance %q", opt.Distance)
 		}
-		kopt := core.KAnonOptions{K: opt.K, Distance: dist, Modified: opt.Modified}
+		kopt := core.KAnonOptions{K: opt.K, Distance: dist, Modified: opt.Modified, Workers: opt.Workers}
 		var g *table.GenTable
 		switch {
 		case opt.Diversity >= 2 && opt.MaxChunk > 0:
@@ -337,6 +341,7 @@ func Anonymize(t *Table, opt Options) (*Result, error) {
 		case opt.MaxChunk > 0:
 			g, _, err = core.KAnonymizePartitioned(s, t.tbl, core.PartitionedOptions{
 				K: opt.K, Distance: dist, Modified: opt.Modified, MaxChunk: opt.MaxChunk,
+				Workers: opt.Workers,
 			})
 		default:
 			g, _, err = core.KAnonymize(s, t.tbl, kopt)
@@ -352,9 +357,9 @@ func Anonymize(t *Table, opt Options) (*Result, error) {
 		}
 		var g *table.GenTable
 		if opt.Diversity >= 2 {
-			g, err = core.KKAnonymizeDiverse(s, t.tbl, opt.K, opt.Diversity, alg, t.sensitive)
+			g, err = core.KKAnonymizeDiverseWorkers(s, t.tbl, opt.K, opt.Diversity, alg, t.sensitive, opt.Workers)
 		} else {
-			g, err = core.KKAnonymize(s, t.tbl, opt.K, alg)
+			g, err = core.KKAnonymizeWorkers(s, t.tbl, opt.K, alg, opt.Workers)
 		}
 		if err != nil {
 			return nil, err
@@ -365,7 +370,7 @@ func Anonymize(t *Table, opt Options) (*Result, error) {
 		if opt.UseNearest {
 			alg = core.K1ByNearest
 		}
-		g, err := core.KKAnonymize(s, t.tbl, opt.K, alg)
+		g, err := core.KKAnonymizeWorkers(s, t.tbl, opt.K, alg, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
