@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -41,10 +42,18 @@ func main() {
 		sensPath  = flag.String("sensitive", "", "file with one sensitive value per record (enables -diversity)")
 		autoHier  = flag.Int("auto-hier", 0, "infer interval hierarchies for numeric attributes (base bucket width, 0=off)")
 		workers   = flag.Int("workers", 0, "worker pool size for the parallel anonymizers (0 = all CPUs, 1 = sequential; output is identical)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no limit)")
+		maxRec    = flag.Int("max-records", 0, "fail fast when the input has more than this many records (0 = no limit)")
 	)
 	flag.Parse()
 
-	if err := run(*inPath, *hierPath, *outPath, *sensPath, *autoHier, !*noHeader, kanon.Options{
+	var ctx context.Context
+	if *timeout > 0 {
+		c, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		ctx = c
+	}
+	if err := run(ctx, *inPath, *hierPath, *outPath, *sensPath, *autoHier, *maxRec, !*noHeader, kanon.Options{
 		K:          *k,
 		Notion:     kanon.Notion(*notion),
 		Measure:    kanon.MeasureName(*measure),
@@ -61,7 +70,7 @@ func main() {
 	}
 }
 
-func run(inPath, hierPath, outPath, sensPath string, autoHier int, header bool, opt kanon.Options, verify bool) error {
+func run(ctx context.Context, inPath, hierPath, outPath, sensPath string, autoHier, maxRecords int, header bool, opt kanon.Options, verify bool) error {
 	var in io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -71,7 +80,7 @@ func run(inPath, hierPath, outPath, sensPath string, autoHier int, header bool, 
 		defer f.Close()
 		in = f
 	}
-	tbl, err := kanon.LoadCSV(in, header)
+	tbl, err := kanon.LoadCSVLimit(in, header, maxRecords)
 	if err != nil {
 		return err
 	}
@@ -105,8 +114,11 @@ func run(inPath, hierPath, outPath, sensPath string, autoHier int, header bool, 
 		}
 	}
 
-	res, err := kanon.Anonymize(tbl, opt)
+	res, err := kanon.AnonymizeContext(ctx, tbl, opt)
 	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return fmt.Errorf("run did not finish within the -timeout: %w", err)
+		}
 		return err
 	}
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,7 +42,7 @@ func TestRunEndToEnd(t *testing.T) {
 	out := filepath.Join(dir, "out.csv")
 
 	for _, notion := range []kanon.Notion{kanon.NotionK, kanon.NotionKK, kanon.NotionGlobal1K} {
-		err := run(in, hier, out, "", 0, true, kanon.Options{K: 3, Notion: notion, Measure: kanon.MeasureEntropy, Distance: "d3"}, true)
+		err := run(nil, in, hier, out, "", 0, 0, true, kanon.Options{K: 3, Notion: notion, Measure: kanon.MeasureEntropy, Distance: "d3"}, true)
 		if err != nil {
 			t.Fatalf("notion %s: %v", notion, err)
 		}
@@ -63,10 +64,10 @@ func TestRunForestAndVariants(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFile(t, dir, "in.csv", testCSV)
 	out := filepath.Join(dir, "out.csv")
-	if err := run(in, "", out, "", 0, true, kanon.Options{K: 2, Notion: kanon.NotionK, Forest: true, Measure: kanon.MeasureLM}, false); err != nil {
+	if err := run(nil, in, "", out, "", 0, 0, true, kanon.Options{K: 2, Notion: kanon.NotionK, Forest: true, Measure: kanon.MeasureLM}, false); err != nil {
 		t.Fatalf("forest: %v", err)
 	}
-	if err := run(in, "", out, "", 0, true, kanon.Options{K: 2, Notion: kanon.NotionKK, UseNearest: true, Measure: kanon.MeasureLM}, false); err != nil {
+	if err := run(nil, in, "", out, "", 0, 0, true, kanon.Options{K: 2, Notion: kanon.NotionKK, UseNearest: true, Measure: kanon.MeasureLM}, false); err != nil {
 		t.Fatalf("nearest: %v", err)
 	}
 }
@@ -74,27 +75,27 @@ func TestRunForestAndVariants(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFile(t, dir, "in.csv", testCSV)
-	if err := run(filepath.Join(dir, "missing.csv"), "", "", "", 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, filepath.Join(dir, "missing.csv"), "", "", "", 0, 0, true, kanon.Options{K: 2}, false); err == nil {
 		t.Error("expected error for missing input")
 	}
-	if err := run(in, filepath.Join(dir, "missing.json"), "", "", 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, in, filepath.Join(dir, "missing.json"), "", "", 0, 0, true, kanon.Options{K: 2}, false); err == nil {
 		t.Error("expected error for missing hierarchy file")
 	}
 	bad := writeFile(t, dir, "bad.json", "{")
-	if err := run(in, bad, "", "", 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, in, bad, "", "", 0, 0, true, kanon.Options{K: 2}, false); err == nil {
 		t.Error("expected error for bad hierarchy JSON")
 	}
-	if err := run(in, "", "", "", 0, true, kanon.Options{K: 0}, false); err == nil {
+	if err := run(nil, in, "", "", "", 0, 0, true, kanon.Options{K: 0}, false); err == nil {
 		t.Error("expected error for k=0")
 	}
-	if err := run(in, "", filepath.Join(dir, "nodir", "out.csv"), "", 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, in, "", filepath.Join(dir, "nodir", "out.csv"), "", 0, 0, true, kanon.Options{K: 2}, false); err == nil {
 		t.Error("expected error for unwritable output")
 	}
-	if err := run(in, "", "", filepath.Join(dir, "missing-sens.txt"), 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, in, "", "", filepath.Join(dir, "missing-sens.txt"), 0, 0, true, kanon.Options{K: 2}, false); err == nil {
 		t.Error("expected error for missing sensitive file")
 	}
 	short := writeFile(t, dir, "short-sens.txt", "a\nb\n")
-	if err := run(in, "", "", short, 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, in, "", "", short, 0, 0, true, kanon.Options{K: 2}, false); err == nil {
 		t.Error("expected error for wrong sensitive length")
 	}
 }
@@ -103,7 +104,7 @@ func TestRunAutoHier(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFile(t, dir, "in.csv", testCSV)
 	out := filepath.Join(dir, "out.csv")
-	if err := run(in, "", out, "", 3, true, kanon.Options{K: 3, Notion: kanon.NotionKK}, true); err != nil {
+	if err := run(nil, in, "", out, "", 3, 0, true, kanon.Options{K: 3, Notion: kanon.NotionKK}, true); err != nil {
 		t.Fatalf("auto-hier run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -114,7 +115,7 @@ func TestRunAutoHier(t *testing.T) {
 		t.Errorf("auto-hier output shows no generalization: %s", data)
 	}
 	hier := writeFile(t, dir, "hier.json", testHier)
-	if err := run(in, hier, out, "", 3, true, kanon.Options{K: 3}, false); err == nil {
+	if err := run(nil, in, hier, out, "", 3, 0, true, kanon.Options{K: 3}, false); err == nil {
 		t.Error("expected -hier/-auto-hier exclusion error")
 	}
 }
@@ -125,7 +126,7 @@ func TestRunDiversity(t *testing.T) {
 	hier := writeFile(t, dir, "hier.json", testHier)
 	sens := writeFile(t, dir, "sens.txt", "flu\ncancer\nflu\ncancer\nflu\ncancer\n")
 	out := filepath.Join(dir, "out.csv")
-	err := run(in, hier, out, sens, 0, true,
+	err := run(nil, in, hier, out, sens, 0, 0, true,
 		kanon.Options{K: 2, Notion: kanon.NotionKK, Diversity: 2}, true)
 	if err != nil {
 		t.Fatalf("diversity run: %v", err)
@@ -137,9 +138,64 @@ func TestRunFullDomain(t *testing.T) {
 	in := writeFile(t, dir, "in.csv", testCSV)
 	hier := writeFile(t, dir, "hier.json", testHier)
 	out := filepath.Join(dir, "out.csv")
-	err := run(in, hier, out, "", 0, true,
+	err := run(nil, in, hier, out, "", 0, 0, true,
 		kanon.Options{K: 3, Notion: kanon.NotionK, FullDomain: true}, true)
 	if err != nil {
 		t.Fatalf("full-domain run: %v", err)
+	}
+}
+
+// TestRunMalformedInputNeverPanics is the panic-audit proof for the CLI:
+// every malformed user input — ragged CSV, duplicate columns, bad
+// hierarchy JSON, oversized input, short sensitive file — must come back
+// as an error, never a panic.
+func TestRunMalformedInputNeverPanics(t *testing.T) {
+	dir := t.TempDir()
+	hier := writeFile(t, dir, "hier.json", testHier)
+	cases := []struct {
+		name string
+		csv  string
+		hier string
+		sens string
+		max  int
+	}{
+		{name: "ragged row", csv: "age,city\n30,haifa\n31\n"},
+		{name: "extra field", csv: "age,city\n30,haifa,extra\n"},
+		{name: "duplicate column", csv: "age,age\n30,31\n"},
+		{name: "empty input", csv: ""},
+		{name: "header only", csv: "age,city\n"},
+		{name: "too many records", csv: testCSV, max: 3},
+		{name: "hierarchy value not in domain", csv: "age,city\n99,haifa\n98,haifa\n", hier: hier},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if v := recover(); v != nil {
+					t.Fatalf("run panicked on malformed input: %v", v)
+				}
+			}()
+			in := writeFile(t, dir, "in.csv", tc.csv)
+			err := run(nil, in, tc.hier, "", tc.sens, 0, tc.max, true, kanon.Options{K: 2}, false)
+			if err == nil {
+				t.Fatal("malformed input produced no error")
+			}
+		})
+	}
+}
+
+// TestRunCancelled checks the -timeout plumbing: a context that expires
+// mid-run surfaces as a timeout error, not a partial output file.
+func TestRunCancelled(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.csv", testCSV)
+	out := filepath.Join(dir, "out.csv")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, in, "", out, "", 0, 0, true, kanon.Options{K: 2}, false)
+	if err == nil || !strings.Contains(err.Error(), "-timeout") {
+		t.Fatalf("err = %v, want a -timeout message", err)
+	}
+	if _, statErr := os.Stat(out); statErr == nil {
+		t.Fatal("cancelled run wrote an output file")
 	}
 }

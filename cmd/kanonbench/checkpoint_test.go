@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kanon/internal/experiment"
+)
+
+func ckptConfig() experiment.Config {
+	return experiment.Config{NART: 60, NADT: 60, NCMC: 60, Seed: 5, Ks: []int{3}}
+}
+
+// TestCheckpointResumeByteIdentical simulates a mid-suite kill: the
+// checkpoint is cut down to half its lines plus a torn partial line, the
+// suite is resumed from it, and the resumed JSON output must be
+// byte-identical to the uninterrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	// Uninterrupted run against a fresh checkpoint.
+	fullPath := filepath.Join(dir, "full.jsonl")
+	cfgA := ckptConfig()
+	closeA, err := setupCheckpoint(&cfgA, fullPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfgA.Deterministic {
+		t.Fatal("-checkpoint must force deterministic output")
+	}
+	rA := &runner{cfg: cfgA, blocks: make(map[string]*experiment.Block)}
+	var outA strings.Builder
+	if err := rA.run(&outA, "fig2", true); err != nil {
+		t.Fatal(err)
+	}
+	closeA()
+
+	full, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(full, []byte("\n")), []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("checkpoint has only %d lines, too few to cut", len(lines))
+	}
+
+	// The kill scenario: half the runs landed, then a write was torn.
+	partPath := filepath.Join(dir, "part.jsonl")
+	kept := bytes.Join(lines[:len(lines)/2], []byte("\n"))
+	torn := append(append([]byte(nil), kept...), []byte("\n{\"Dataset\":\"AD")...)
+	if err := os.WriteFile(partPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := ckptConfig()
+	closeB, err := setupCheckpoint(&cfgB, partPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(lines) / 2; len(cfgB.Completed) != want {
+		t.Fatalf("resume loaded %d runs, want %d (torn line must be dropped)",
+			len(cfgB.Completed), want)
+	}
+	rB := &runner{cfg: cfgB, blocks: make(map[string]*experiment.Block)}
+	var outB strings.Builder
+	if err := rB.run(&outB, "fig2", true); err != nil {
+		t.Fatal(err)
+	}
+	closeB()
+
+	if outA.String() != outB.String() {
+		t.Errorf("resumed output is not byte-identical to the uninterrupted run:\n--- full ---\n%s\n--- resumed ---\n%s",
+			outA.String(), outB.String())
+	}
+}
+
+// TestSetupCheckpointRefusesOverwrite guards against silently clobbering
+// an existing checkpoint when -resume was not passed.
+func TestSetupCheckpointRefusesOverwrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if err := os.WriteFile(path, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ckptConfig()
+	if _, err := setupCheckpoint(&cfg, path, false); err == nil {
+		t.Fatal("expected error for existing checkpoint without -resume")
+	}
+}
+
+// TestLoadCheckpointMissingAndTorn covers the two forgiving paths: a
+// missing file is an empty checkpoint, and a corrupt line stops the scan
+// without failing the resume.
+func TestLoadCheckpointMissingAndTorn(t *testing.T) {
+	completed, err := loadCheckpoint(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || len(completed) != 0 {
+		t.Fatalf("missing file: completed=%v err=%v", completed, err)
+	}
+
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	content := `{"Dataset":"ART","Measure":"EM","Algorithm":"forest","K":3,"Loss":1.5}
+
+{"Dataset":"ART","Measure":"EM","Algorithm":"kk-expand","K":3,"Lo`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	completed, err = loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 1 {
+		t.Fatalf("loaded %d runs, want 1 (blank line skipped, torn line dropped)", len(completed))
+	}
+	if _, ok := completed["ART|EM|forest|3"]; !ok {
+		t.Fatalf("unexpected keys: %v", completed)
+	}
+}

@@ -14,7 +14,10 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +42,9 @@ func main() {
 		nADT    = flag.Int("n-adt", 0, "override ADT size")
 		nCMC    = flag.Int("n-cmc", 0, "override CMC size")
 		workers = flag.Int("workers", 0, "worker pool size for runs and engines (0 = all CPUs, 1 = sequential; results are identical)")
+		timeout = flag.Duration("timeout", 0, "abort the suite after this duration (e.g. 10m; 0 = no limit)")
+		ckpt    = flag.String("checkpoint", "", "JSONL file persisting each completed run; implies deterministic output (timing fields zeroed)")
+		resume  = flag.Bool("resume", false, "skip runs already recorded in the -checkpoint file")
 	)
 	flag.Parse()
 
@@ -61,6 +67,23 @@ func main() {
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Ctx = ctx
+	}
+	if *resume && *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "kanonbench: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *ckpt != "" {
+		closeCkpt, err := setupCheckpoint(&cfg, *ckpt, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kanonbench:", err)
+			os.Exit(1)
+		}
+		defer closeCkpt()
+	}
 
 	start := time.Now()
 	r := &runner{cfg: cfg, blocks: make(map[string]*experiment.Block), svgDir: *svgDir}
@@ -70,6 +93,75 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "total time: %v (sizes ART=%d ADT=%d CMC=%d, seed=%d)\n",
 		time.Since(start).Round(time.Millisecond), cfg.NART, cfg.NADT, cfg.NCMC, cfg.Seed)
+}
+
+// setupCheckpoint wires -checkpoint/-resume into the config: completed
+// runs are appended to path as JSON lines the moment they finish (flushed
+// per run, so a kill loses at most the in-flight runs), and with resume
+// the runs already recorded are loaded and skipped. Checkpointing forces
+// Deterministic so a resumed suite serializes byte-identically to an
+// uninterrupted one.
+func setupCheckpoint(cfg *experiment.Config, path string, resume bool) (func(), error) {
+	cfg.Deterministic = true
+	if resume {
+		completed, err := loadCheckpoint(path)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Completed = completed
+		if len(completed) > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d runs checkpointed in %s\n", len(completed), path)
+		}
+	} else if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("checkpoint file %s already exists (pass -resume to continue it, or remove it)", path)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(f)
+	cfg.OnRun = func(r experiment.Run) {
+		// experiment.Config serializes OnRun calls; Encode appends one
+		// line and the unbuffered *os.File makes it durable immediately.
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, "kanonbench: checkpoint write:", err)
+		}
+	}
+	return func() { f.Close() }, nil
+}
+
+// loadCheckpoint parses a JSONL checkpoint into a Run map keyed by
+// Run.Key(). A missing file is an empty checkpoint; a torn trailing line
+// (from a mid-write kill) is dropped with a warning.
+func loadCheckpoint(path string) (map[string]experiment.Run, error) {
+	completed := make(map[string]experiment.Run)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return completed, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r experiment.Run
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			fmt.Fprintf(os.Stderr, "kanonbench: checkpoint %s line %d unreadable (torn write?), dropping it and the rest\n", path, line)
+			break
+		}
+		completed[r.Key()] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading checkpoint %s: %w", path, err)
+	}
+	return completed, nil
 }
 
 // runner memoizes dataset × measure blocks so `-exp all` computes each of

@@ -1,13 +1,29 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
 	"time"
 
+	"kanon/internal/fault"
 	"kanon/internal/par"
 	"kanon/internal/table"
+)
+
+// Fault-injection sites of the engine (see internal/fault). Each doubles as
+// a cancellation checkpoint: the engine polls its context at exactly these
+// boundaries, so an injected Cancel at a site proves the corresponding
+// check.
+const (
+	// SiteInitScan fires once per record of the initial O(n²)
+	// nearest-neighbour build.
+	SiteInitScan = "cluster.agglo.init"
+	// SiteMerge fires once per merge iteration of the main loop.
+	SiteMerge = "cluster.agglo.merge"
+	// SiteAbsorb fires once per leftover record absorbed in the final pass.
+	SiteAbsorb = "cluster.agglo.absorb"
 )
 
 // AggloOptions configures the agglomerative engine.
@@ -79,9 +95,25 @@ func Agglomerate(s *Space, tbl *table.Table, opt AggloOptions) ([]*Cluster, erro
 	return clusters, err
 }
 
+// AgglomerateCtx is Agglomerate under a context. The engine polls ctx at
+// every scan, merge and absorb boundary (the Site* constants); once ctx is
+// done it stops promptly, drains its worker pool, and returns ctx.Err()
+// with a nil clustering — never partial output.
+func AgglomerateCtx(ctx context.Context, s *Space, tbl *table.Table, opt AggloOptions) ([]*Cluster, error) {
+	clusters, _, err := AgglomerateStatsCtx(ctx, s, tbl, opt)
+	return clusters, err
+}
+
 // AgglomerateStats is Agglomerate returning the engine's work counters and
 // phase timings alongside the clustering.
 func AgglomerateStats(s *Space, tbl *table.Table, opt AggloOptions) ([]*Cluster, AggloStats, error) {
+	return AgglomerateStatsCtx(nil, s, tbl, opt)
+}
+
+// AgglomerateStatsCtx is AgglomerateCtx returning the engine's work
+// counters and phase timings alongside the clustering. A nil ctx disables
+// cancellation.
+func AgglomerateStatsCtx(ctx context.Context, s *Space, tbl *table.Table, opt AggloOptions) ([]*Cluster, AggloStats, error) {
 	stats := AggloStats{Workers: par.Workers(opt.Workers)}
 	n := tbl.Len()
 	if opt.Distance == nil {
@@ -116,8 +148,14 @@ func AgglomerateStats(s *Space, tbl *table.Table, opt AggloOptions) ([]*Cluster,
 		return out, stats, nil
 	}
 
-	e := &aggloEngine{s: s, tbl: tbl, opt: opt}
-	e.run()
+	if ctx != nil && ctx.Err() != nil {
+		return nil, stats, ctx.Err()
+	}
+	e := &aggloEngine{s: s, tbl: tbl, opt: opt, ctx: ctx}
+	if err := e.run(); err != nil {
+		e.stats.Workers = stats.Workers
+		return nil, e.stats, err
+	}
 	e.stats.Workers = stats.Workers
 	return e.final, e.stats, nil
 }
@@ -167,6 +205,10 @@ type aggloEngine struct {
 	tbl *table.Table
 	opt AggloOptions
 
+	// ctx, when non-nil, is polled at scan/merge/absorb boundaries; a done
+	// context makes run return ctx.Err() with no partial output.
+	ctx context.Context
+
 	pool *par.Pool
 
 	nodes []*Cluster
@@ -197,7 +239,12 @@ type nnCand struct {
 	d1, d2   float64
 }
 
-func (e *aggloEngine) run() {
+// cancelled reports whether the engine's context is done.
+func (e *aggloEngine) cancelled() bool {
+	return e.ctx != nil && e.ctx.Err() != nil
+}
+
+func (e *aggloEngine) run() error {
 	n := e.tbl.Len()
 	e.pool = par.New(e.opt.Workers)
 	defer e.pool.Close()
@@ -218,16 +265,29 @@ func (e *aggloEngine) run() {
 		e.push(e.s.NewSingleton(e.tbl, i))
 	}
 	// Initial nearest-neighbour build: one independent scan per cluster.
-	e.pool.ForSpans(n, initScanGrain, func(lo, hi, _ int) {
+	// Each record's O(n) scan is a cancellation checkpoint, bounding the
+	// engine's reaction latency to one scan per worker.
+	_, err := e.pool.ForSpansCtx(e.ctx, n, initScanGrain, func(lo, hi, _ int) {
 		evals := int64(0)
 		for i := lo; i < hi; i++ {
+			if e.cancelled() {
+				break
+			}
+			fault.Inject(SiteInitScan)
 			evals += e.scanNN(i)
 		}
 		e.distEvals.Add(evals)
 	})
 	e.stats.InitNanos = time.Since(t0).Nanoseconds()
+	if err != nil {
+		return err
+	}
 
 	for e.nLive > 1 {
+		if e.cancelled() {
+			return e.ctx.Err()
+		}
+		fault.Inject(SiteMerge)
 		tSel := time.Now()
 		best := e.bestLive()
 		if best < 0 {
@@ -265,11 +325,19 @@ func (e *aggloEngine) run() {
 			continue
 		}
 		for _, ri := range e.nodes[i].Members {
+			if e.cancelled() {
+				return e.ctx.Err()
+			}
+			fault.Inject(SiteAbsorb)
 			e.absorb(ri)
 		}
 	}
 	e.stats.AbsorbNanos = time.Since(tAbs).Nanoseconds()
 	e.stats.DistEvals = e.distEvals.Load()
+	if e.cancelled() {
+		return e.ctx.Err()
+	}
+	return nil
 }
 
 // push appends a cluster to the arena as live and returns its id.

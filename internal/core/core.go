@@ -16,11 +16,31 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"kanon/internal/cluster"
 	"kanon/internal/table"
 )
+
+// Fault-injection sites of the core pipelines (see internal/fault). Each
+// doubles as a cancellation checkpoint of the corresponding *Ctx function.
+const (
+	// SiteK1Record fires once per record of Algorithms 3 and 4.
+	SiteK1Record = "core.k1.record"
+	// SiteMake1KRecord fires once per record of Algorithm 5 (plain and
+	// diverse).
+	SiteMake1KRecord = "core.make1k.record"
+	// SiteForestRound fires once per Borůvka round of the forest baseline.
+	SiteForestRound = "core.forest.round"
+	// SiteGlobalStep fires once per widening step of Algorithm 6.
+	SiteGlobalStep = "core.global.step"
+)
+
+// ctxDone reports whether a (possibly nil) context has been cancelled.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
 
 // KAnonOptions configures the agglomerative k-anonymizers.
 type KAnonOptions struct {
@@ -45,9 +65,23 @@ func KAnonymize(s *cluster.Space, tbl *table.Table, opt KAnonOptions) (*table.Ge
 	return g, clusters, err
 }
 
+// KAnonymizeCtx is KAnonymize under a context: the engine stops at its
+// next scan/merge boundary once ctx is done and returns ctx.Err() with no
+// partial output. A nil ctx disables cancellation.
+func KAnonymizeCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, opt KAnonOptions) (*table.GenTable, []*cluster.Cluster, error) {
+	g, clusters, _, err := KAnonymizeStatsCtx(ctx, s, tbl, opt)
+	return g, clusters, err
+}
+
 // KAnonymizeStats is KAnonymize exposing the engine's work counters and
 // phase timings alongside the result.
 func KAnonymizeStats(s *cluster.Space, tbl *table.Table, opt KAnonOptions) (*table.GenTable, []*cluster.Cluster, cluster.AggloStats, error) {
+	return KAnonymizeStatsCtx(nil, s, tbl, opt)
+}
+
+// KAnonymizeStatsCtx is KAnonymizeCtx exposing the engine's work counters
+// and phase timings alongside the result.
+func KAnonymizeStatsCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, opt KAnonOptions) (*table.GenTable, []*cluster.Cluster, cluster.AggloStats, error) {
 	if opt.K < 1 {
 		return nil, nil, cluster.AggloStats{}, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
 	}
@@ -55,7 +89,7 @@ func KAnonymizeStats(s *cluster.Space, tbl *table.Table, opt KAnonOptions) (*tab
 	if dist == nil {
 		dist = cluster.D3{}
 	}
-	clusters, stats, err := cluster.AgglomerateStats(s, tbl, cluster.AggloOptions{
+	clusters, stats, err := cluster.AgglomerateStatsCtx(ctx, s, tbl, cluster.AggloOptions{
 		K:        opt.K,
 		Distance: dist,
 		Modified: opt.Modified,

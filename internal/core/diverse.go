@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"kanon/internal/cluster"
+	"kanon/internal/fault"
 	"kanon/internal/table"
 )
 
@@ -15,6 +17,12 @@ import (
 // equivalence class of the output has size ≥ k and contains at least l
 // distinct values of sensitive.
 func KAnonymizeDiverse(s *cluster.Space, tbl *table.Table, opt KAnonOptions, l int, sensitive []int) (*table.GenTable, []*cluster.Cluster, error) {
+	return KAnonymizeDiverseCtx(nil, s, tbl, opt, l, sensitive)
+}
+
+// KAnonymizeDiverseCtx is KAnonymizeDiverse under a context (see
+// KAnonymizeCtx). A nil ctx disables cancellation.
+func KAnonymizeDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, opt KAnonOptions, l int, sensitive []int) (*table.GenTable, []*cluster.Cluster, error) {
 	if opt.K < 1 {
 		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
 	}
@@ -25,7 +33,7 @@ func KAnonymizeDiverse(s *cluster.Space, tbl *table.Table, opt KAnonOptions, l i
 	if dist == nil {
 		dist = cluster.D3{}
 	}
-	clusters, err := cluster.Agglomerate(s, tbl, cluster.AggloOptions{
+	clusters, err := cluster.AgglomerateCtx(ctx, s, tbl, cluster.AggloOptions{
 		K:            opt.K,
 		Distance:     dist,
 		Modified:     opt.Modified,
@@ -51,6 +59,14 @@ func KAnonymizeDiverse(s *cluster.Space, tbl *table.Table, opt KAnonOptions, l i
 // its (k,1) property and the coupling yields a diverse
 // (k,k)-anonymization. g is modified in place and returned.
 func Make1KDiverse(s *cluster.Space, tbl *table.Table, g *table.GenTable, k, l int, sensitive []int) (*table.GenTable, error) {
+	return Make1KDiverseCtx(nil, s, tbl, g, k, l, sensitive)
+}
+
+// Make1KDiverseCtx is Make1KDiverse under a context: the per-record
+// widening loop stops at the next record boundary once ctx is done and
+// ctx.Err() is returned. As with Make1KCtx, a cancelled call leaves g
+// partially widened — discard g on error. A nil ctx disables cancellation.
+func Make1KDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g *table.GenTable, k, l int, sensitive []int) (*table.GenTable, error) {
 	n := tbl.Len()
 	if g == nil || g.Len() != n {
 		return nil, fmt.Errorf("core: generalized table missing or wrong length (original has %d records)", n)
@@ -74,6 +90,10 @@ func Make1KDiverse(s *cluster.Space, tbl *table.Table, g *table.GenTable, k, l i
 
 	r := s.NumAttrs()
 	for i := 0; i < n; i++ {
+		if ctxDone(ctx) {
+			return nil, ctx.Err()
+		}
+		fault.Inject(SiteMake1KRecord)
 		ri := tbl.Records[i]
 		for {
 			consistent := 0
@@ -141,11 +161,18 @@ func KKAnonymizeDiverse(s *cluster.Space, tbl *table.Table, k, l int, alg K1Algo
 // running on a pool of Workers(workers) workers; the output is identical at
 // any worker count.
 func KKAnonymizeDiverseWorkers(s *cluster.Space, tbl *table.Table, k, l int, alg K1Algorithm, sensitive []int, workers int) (*table.GenTable, error) {
-	g, err := runK1(s, tbl, k, alg, workers)
+	return KKAnonymizeDiverseCtx(nil, s, tbl, k, l, alg, sensitive, workers)
+}
+
+// KKAnonymizeDiverseCtx is KKAnonymizeDiverseWorkers under a context: both
+// stages check for cancellation at record boundaries and return ctx.Err()
+// with no partial output. A nil ctx disables cancellation.
+func KKAnonymizeDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k, l int, alg K1Algorithm, sensitive []int, workers int) (*table.GenTable, error) {
+	g, err := runK1Ctx(ctx, s, tbl, k, alg, workers)
 	if err != nil {
 		return nil, err
 	}
-	return Make1KDiverse(s, tbl, g, k, l, sensitive)
+	return Make1KDiverseCtx(ctx, s, tbl, g, k, l, sensitive)
 }
 
 // CandidateDiversity returns, for every original record, the number of

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"kanon/internal/cluster"
+	"kanon/internal/fault"
 	"kanon/internal/table"
 )
 
@@ -24,6 +26,13 @@ import (
 // into the last emitted part), keeping cluster sizes — and hence the
 // closure costs the approximation guarantee charges — bounded.
 func Forest(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, []*cluster.Cluster, error) {
+	return ForestCtx(nil, s, tbl, k)
+}
+
+// ForestCtx is Forest under a context: cancellation is checked at every
+// Borůvka round and at every outer row of the O(n²) edge pass, returning
+// ctx.Err() with no partial output. A nil ctx disables cancellation.
+func ForestCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, []*cluster.Cluster, error) {
 	n := tbl.Len()
 	if k < 1 {
 		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", k)
@@ -54,6 +63,10 @@ func Forest(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, []*clus
 	var treeEdges []edge
 
 	for {
+		if ctxDone(ctx) {
+			return nil, nil, ctx.Err()
+		}
+		fault.Inject(SiteForestRound)
 		// Collect components below size k.
 		small := make(map[int]bool)
 		for i := 0; i < n; i++ {
@@ -72,6 +85,9 @@ func Forest(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, []*clus
 			bestW[r] = math.Inf(1)
 		}
 		for i := 0; i < n; i++ {
+			if ctxDone(ctx) {
+				return nil, nil, ctx.Err()
+			}
 			ri := find(i)
 			for j := i + 1; j < n; j++ {
 				rj := find(j)

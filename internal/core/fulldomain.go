@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"kanon/internal/cluster"
@@ -28,6 +29,14 @@ import (
 // local-vs-global ablation (E15) quantifies — how much utility local
 // recoding buys.
 func FullDomain(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, []int, error) {
+	return FullDomainCtx(nil, s, tbl, k)
+}
+
+// FullDomainCtx is FullDomain under a context: cancellation is checked at
+// every popped lattice vector (the k-anonymity test is the O(n) unit of
+// work), returning ctx.Err() with no partial output. A nil ctx disables
+// cancellation.
+func FullDomainCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, []int, error) {
 	n := tbl.Len()
 	if k < 1 {
 		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", k)
@@ -102,6 +111,9 @@ func FullDomain(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, []i
 	groupCounts := make(map[string]int, n)
 
 	for pq.Len() > 0 {
+		if ctxDone(ctx) {
+			return nil, nil, ctx.Err()
+		}
 		cur := heap.Pop(pq).(levelNode)
 		if fullDomainKAnonymous(tbl, ancestorAt, cur.levels, k, groupBuf, groupCounts) {
 			return apply(cur.levels), cur.levels, nil

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"kanon/internal/bipartite"
 	"kanon/internal/cluster"
+	"kanon/internal/fault"
 	"kanon/internal/table"
 )
 
@@ -39,6 +41,15 @@ type Global1KStats struct {
 // g must be a positional generalization of tbl (R̄_i generalizes R_i); this
 // is verified. g is modified in place and returned alongside the stats.
 func MakeGlobal1K(s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) (*table.GenTable, Global1KStats, error) {
+	return MakeGlobal1KCtx(nil, s, tbl, g, k)
+}
+
+// MakeGlobal1KCtx is MakeGlobal1K under a context: cancellation is checked
+// before every record and every widening step (the matching rebuild is the
+// expensive unit of work), returning ctx.Err(). Like Make1KCtx, a cancelled
+// call leaves g partially widened — discard g on error. A nil ctx disables
+// cancellation.
+func MakeGlobal1KCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) (*table.GenTable, Global1KStats, error) {
 	var stats Global1KStats
 	n := tbl.Len()
 	if g.Len() != n {
@@ -58,6 +69,9 @@ func MakeGlobal1K(s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) 
 	// consistencies, so the matrix is updated incrementally per column.
 	cons := make([][]bool, n)
 	for i := 0; i < n; i++ {
+		if ctxDone(ctx) {
+			return nil, stats, ctx.Err()
+		}
 		cons[i] = make([]bool, n)
 		for j := 0; j < n; j++ {
 			cons[i][j] = s.Consistent(tbl.Records[i], g.Records[j])
@@ -95,6 +109,10 @@ func MakeGlobal1K(s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) 
 	for i := 0; i < n; i++ {
 		steps := 0
 		for len(allowed[i]) < k {
+			if ctxDone(ctx) {
+				return nil, stats, ctx.Err()
+			}
+			fault.Inject(SiteGlobalStep)
 			// Non-match neighbours of R_i.
 			isMatch := make(map[int]bool, len(allowed[i]))
 			for _, v := range allowed[i] {
@@ -147,9 +165,16 @@ func MakeGlobal1K(s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) 
 // GlobalAnonymize is the full global (1,k) pipeline of the paper: a
 // (k,k)-anonymization (Algorithm 4 + Algorithm 5) upgraded by Algorithm 6.
 func GlobalAnonymize(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, Global1KStats, error) {
-	g, err := KKAnonymize(s, tbl, k, K1ByExpansion)
+	return GlobalAnonymizeCtx(nil, s, tbl, k, 0)
+}
+
+// GlobalAnonymizeCtx is GlobalAnonymize under a context, with the (k,k)
+// stage running on a pool of Workers(workers) workers. A nil ctx disables
+// cancellation.
+func GlobalAnonymizeCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k, workers int) (*table.GenTable, Global1KStats, error) {
+	g, err := KKAnonymizeCtx(ctx, s, tbl, k, K1ByExpansion, workers)
 	if err != nil {
 		return nil, Global1KStats{}, err
 	}
-	return MakeGlobal1K(s, tbl, g, k)
+	return MakeGlobal1KCtx(ctx, s, tbl, g, k)
 }

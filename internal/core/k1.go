@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"kanon/internal/cluster"
+	"kanon/internal/fault"
 	"kanon/internal/par"
 	"kanon/internal/table"
 )
@@ -24,6 +26,13 @@ func K1Nearest(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, erro
 // Every record's neighbourhood is computed independently, so the worker
 // count never changes the output.
 func K1NearestWorkers(s *cluster.Space, tbl *table.Table, k, workers int) (*table.GenTable, error) {
+	return K1NearestCtx(nil, s, tbl, k, workers)
+}
+
+// K1NearestCtx is K1NearestWorkers under a context: record scans stop at
+// the next record boundary once ctx is done and ctx.Err() is returned with
+// no partial output. A nil ctx disables cancellation.
+func K1NearestCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k, workers int) (*table.GenTable, error) {
 	n := tbl.Len()
 	if err := checkK1Args(n, k); err != nil {
 		return nil, err
@@ -31,7 +40,8 @@ func K1NearestWorkers(s *cluster.Space, tbl *table.Table, k, workers int) (*tabl
 	g := table.NewGen(tbl.Schema, n)
 	p := par.New(workers)
 	defer p.Close()
-	p.Each(n, func(i int) {
+	err := p.EachCtx(ctx, n, func(i int) {
+		fault.Inject(SiteK1Record)
 		// Find the k−1 smallest pair costs; ties broken by lower index.
 		type cand struct {
 			j int
@@ -57,6 +67,9 @@ func K1NearestWorkers(s *cluster.Space, tbl *table.Table, k, workers int) (*tabl
 		}
 		copy(g.Records[i], s.ClosureOf(tbl, members))
 	})
+	if err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
@@ -75,6 +88,13 @@ func K1Expand(s *cluster.Space, tbl *table.Table, k int) (*table.GenTable, error
 // Every record's cluster is grown independently, so the worker count never
 // changes the output.
 func K1ExpandWorkers(s *cluster.Space, tbl *table.Table, k, workers int) (*table.GenTable, error) {
+	return K1ExpandCtx(nil, s, tbl, k, workers)
+}
+
+// K1ExpandCtx is K1ExpandWorkers under a context: record scans stop at the
+// next record boundary once ctx is done and ctx.Err() is returned with no
+// partial output. A nil ctx disables cancellation.
+func K1ExpandCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k, workers int) (*table.GenTable, error) {
 	n := tbl.Len()
 	if err := checkK1Args(n, k); err != nil {
 		return nil, err
@@ -83,7 +103,8 @@ func K1ExpandWorkers(s *cluster.Space, tbl *table.Table, k, workers int) (*table
 	r := s.NumAttrs()
 	p := par.New(workers)
 	defer p.Close()
-	p.Each(n, func(i int) {
+	err := p.EachCtx(ctx, n, func(i int) {
+		fault.Inject(SiteK1Record)
 		inS := make([]bool, n)
 		inS[i] = true
 		closure := s.LeafClosure(tbl.Records[i])
@@ -114,6 +135,9 @@ func K1ExpandWorkers(s *cluster.Space, tbl *table.Table, k, workers int) (*table
 		}
 		copy(g.Records[i], closure)
 	})
+	if err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 

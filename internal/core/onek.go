@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"kanon/internal/cluster"
+	"kanon/internal/fault"
 	"kanon/internal/table"
 )
 
@@ -21,6 +23,15 @@ import (
 // property is preserved while (1,k) is established. g is modified in place
 // and also returned.
 func Make1K(s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) (*table.GenTable, error) {
+	return Make1KCtx(nil, s, tbl, g, k)
+}
+
+// Make1KCtx is Make1K under a context: the per-record widening loop stops
+// at the next record boundary once ctx is done and ctx.Err() is returned.
+// Because Algorithm 5 widens g in place, a cancelled call leaves g
+// partially widened — callers wanting all-or-nothing semantics (such as
+// KKAnonymizeCtx) must discard g on error. A nil ctx disables cancellation.
+func Make1KCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) (*table.GenTable, error) {
 	n := tbl.Len()
 	if g.Len() != n {
 		return nil, fmt.Errorf("core: generalized table has %d records, original has %d", g.Len(), n)
@@ -30,6 +41,10 @@ func Make1K(s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) (*tabl
 	}
 	r := s.NumAttrs()
 	for i := 0; i < n; i++ {
+		if ctxDone(ctx) {
+			return nil, ctx.Err()
+		}
+		fault.Inject(SiteMake1KRecord)
 		ri := tbl.Records[i]
 		consistent := 0
 		for j := 0; j < n; j++ {
@@ -112,20 +127,28 @@ func KKAnonymize(s *cluster.Space, tbl *table.Table, k int, alg K1Algorithm) (*t
 // in-place widenings are order-dependent), so the output is identical at
 // any worker count.
 func KKAnonymizeWorkers(s *cluster.Space, tbl *table.Table, k int, alg K1Algorithm, workers int) (*table.GenTable, error) {
-	g, err := runK1(s, tbl, k, alg, workers)
+	return KKAnonymizeCtx(nil, s, tbl, k, alg, workers)
+}
+
+// KKAnonymizeCtx is KKAnonymizeWorkers under a context: both the (k,1)
+// stage and the Algorithm 5 post-pass check for cancellation at record
+// boundaries and return ctx.Err() with no partial output. A nil ctx
+// disables cancellation.
+func KKAnonymizeCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int, alg K1Algorithm, workers int) (*table.GenTable, error) {
+	g, err := runK1Ctx(ctx, s, tbl, k, alg, workers)
 	if err != nil {
 		return nil, err
 	}
-	return Make1K(s, tbl, g, k)
+	return Make1KCtx(ctx, s, tbl, g, k)
 }
 
-// runK1 dispatches to the selected (k,1)-anonymizer.
-func runK1(s *cluster.Space, tbl *table.Table, k int, alg K1Algorithm, workers int) (*table.GenTable, error) {
+// runK1Ctx dispatches to the selected (k,1)-anonymizer.
+func runK1Ctx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int, alg K1Algorithm, workers int) (*table.GenTable, error) {
 	switch alg {
 	case K1ByNearest:
-		return K1NearestWorkers(s, tbl, k, workers)
+		return K1NearestCtx(ctx, s, tbl, k, workers)
 	case K1ByExpansion:
-		return K1ExpandWorkers(s, tbl, k, workers)
+		return K1ExpandCtx(ctx, s, tbl, k, workers)
 	default:
 		return nil, fmt.Errorf("core: unknown (k,1) algorithm %d", alg)
 	}

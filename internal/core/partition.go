@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -33,6 +34,14 @@ type PartitionedOptions struct {
 // E19 benchmark), because records in different chunks already disagree on
 // some attribute and would rarely share a cluster anyway.
 func KAnonymizePartitioned(s *cluster.Space, tbl *table.Table, opt PartitionedOptions) (*table.GenTable, []*cluster.Cluster, error) {
+	return KAnonymizePartitionedCtx(nil, s, tbl, opt)
+}
+
+// KAnonymizePartitionedCtx is KAnonymizePartitioned under a context: the
+// per-chunk engines run with the context (cancelling at their scan/merge
+// boundaries) and the chunk loop checks it between chunks, returning
+// ctx.Err() with no partial output. A nil ctx disables cancellation.
+func KAnonymizePartitionedCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, opt PartitionedOptions) (*table.GenTable, []*cluster.Cluster, error) {
 	n := tbl.Len()
 	if opt.K < 1 {
 		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
@@ -61,11 +70,14 @@ func KAnonymizePartitioned(s *cluster.Space, tbl *table.Table, opt PartitionedOp
 
 	var clusters []*cluster.Cluster
 	for _, chunk := range chunks {
+		if ctxDone(ctx) {
+			return nil, nil, ctx.Err()
+		}
 		sub := table.New(tbl.Schema)
 		for _, i := range chunk {
 			sub.Records = append(sub.Records, tbl.Records[i])
 		}
-		cs, err := cluster.Agglomerate(s, sub, cluster.AggloOptions{
+		cs, err := cluster.AgglomerateCtx(ctx, s, sub, cluster.AggloOptions{
 			K:        opt.K,
 			Distance: dist,
 			Modified: opt.Modified,

@@ -17,22 +17,95 @@ import (
 	"kanon/internal/table"
 )
 
+// RaggedRowError reports a data row whose field count disagrees with the
+// schema width. Row is 1-based over the kept (non-blank) data rows.
+type RaggedRowError struct {
+	Row, Fields, Want int
+}
+
+// Error implements error.
+func (e *RaggedRowError) Error() string {
+	return fmt.Sprintf("dataio: row %d has %d fields, expected %d", e.Row, e.Fields, e.Want)
+}
+
+// DuplicateColumnError reports a header that names the same column twice.
+// Column and First are 1-based column positions of the repeat and of the
+// original occurrence.
+type DuplicateColumnError struct {
+	Name          string
+	Column, First int
+}
+
+// Error implements error.
+func (e *DuplicateColumnError) Error() string {
+	return fmt.Sprintf("dataio: duplicate column name %q (columns %d and %d)", e.Name, e.First, e.Column)
+}
+
+// EmptyTableError reports CSV input with no data rows. HeaderOnly
+// distinguishes a lone header row from a fully empty stream.
+type EmptyTableError struct {
+	HeaderOnly bool
+}
+
+// Error implements error.
+func (e *EmptyTableError) Error() string {
+	if e.HeaderOnly {
+		return "dataio: CSV has a header but no data rows"
+	}
+	return "dataio: empty CSV input"
+}
+
+// TooManyRecordsError reports input exceeding ReadOptions.MaxRecords. Row
+// is the 1-based data row that overflowed the limit.
+type TooManyRecordsError struct {
+	Limit, Row int
+}
+
+// Error implements error.
+func (e *TooManyRecordsError) Error() string {
+	return fmt.Sprintf("dataio: input exceeds the %d-record limit at row %d", e.Limit, e.Row)
+}
+
+// ReadOptions configures ReadCSVOptions.
+type ReadOptions struct {
+	// Header makes the first row supply attribute names; otherwise
+	// attributes are named col1..colr.
+	Header bool
+	// MaxRecords, when > 0, fails the read with a TooManyRecordsError as
+	// soon as the data-row count exceeds it — a guard against runaway or
+	// mis-pointed inputs (the algorithms downstream are quadratic).
+	MaxRecords int
+}
+
 // ReadCSV parses a CSV stream into a table. When header is true the first
 // row supplies attribute names; otherwise attributes are named col1..colr.
 // Attribute domains are built from the data, values ordered by first
 // appearance. Every row must have the same number of fields.
 func ReadCSV(r io.Reader, header bool) (*table.Table, error) {
+	return ReadCSVOptions(r, ReadOptions{Header: header})
+}
+
+// ReadCSVOptions is ReadCSV with explicit options. Malformed input is
+// reported through typed errors carrying positions: *RaggedRowError,
+// *DuplicateColumnError, *EmptyTableError, *TooManyRecordsError.
+func ReadCSVOptions(r io.Reader, opt ReadOptions) (*table.Table, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("dataio: reading CSV: %w", err)
-	}
-	// Drop rows whose every field is blank after trimming: encoding/csv
-	// skips truly blank lines itself, and an all-whitespace row could not
-	// round-trip through WriteCSV anyway.
-	kept := rows[:0]
-	for _, row := range rows {
+	// Field counts are validated here (with our own row numbering), not by
+	// encoding/csv.
+	cr.FieldsPerRecord = -1
+	var rows [][]string
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataio: reading CSV: %w", err)
+		}
+		// Drop rows whose every field is blank after trimming: encoding/csv
+		// skips truly blank lines itself, and an all-whitespace row could
+		// not round-trip through WriteCSV anyway.
 		empty := true
 		for _, v := range row {
 			if strings.TrimSpace(v) != "" {
@@ -40,20 +113,37 @@ func ReadCSV(r io.Reader, header bool) (*table.Table, error) {
 				break
 			}
 		}
-		if !empty {
-			kept = append(kept, row)
+		if empty {
+			continue
+		}
+		rows = append(rows, row)
+		if opt.MaxRecords > 0 {
+			limit := opt.MaxRecords
+			if opt.Header {
+				limit++
+			}
+			if len(rows) > limit {
+				return nil, &TooManyRecordsError{Limit: opt.MaxRecords, Row: opt.MaxRecords + 1}
+			}
 		}
 	}
-	rows = kept
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataio: empty CSV input")
+		return nil, &EmptyTableError{}
 	}
 	var names []string
-	if header {
+	if opt.Header {
 		names = rows[0]
 		rows = rows[1:]
 		if len(rows) == 0 {
-			return nil, fmt.Errorf("dataio: CSV has a header but no data rows")
+			return nil, &EmptyTableError{HeaderOnly: true}
+		}
+		seenName := make(map[string]int, len(names))
+		for j := range names {
+			names[j] = strings.TrimSpace(names[j])
+			if first, dup := seenName[names[j]]; dup {
+				return nil, &DuplicateColumnError{Name: names[j], Column: j + 1, First: first + 1}
+			}
+			seenName[names[j]] = j
 		}
 	} else {
 		names = make([]string, len(rows[0]))
@@ -70,7 +160,7 @@ func ReadCSV(r io.Reader, header bool) (*table.Table, error) {
 	}
 	for ri, row := range rows {
 		if len(row) != nAttrs {
-			return nil, fmt.Errorf("dataio: row %d has %d fields, expected %d", ri+1, len(row), nAttrs)
+			return nil, &RaggedRowError{Row: ri + 1, Fields: len(row), Want: nAttrs}
 		}
 		for j, v := range row {
 			v = strings.TrimSpace(v)
@@ -128,6 +218,9 @@ func WriteCSV(w io.Writer, tbl *table.Table) error {
 // the subset label when one is set, and otherwise a braced value list
 // ("{30,31,...,39}" style, abbreviated past eight values).
 func GenValueString(a *table.Attribute, h *hierarchy.Hierarchy, node int) string {
+	if node < 0 || node >= h.NumNodes() {
+		return fmt.Sprintf("<invalid:%d>", node)
+	}
 	if h.IsLeaf(node) {
 		return a.Value(h.ValueOf(node))
 	}

@@ -7,19 +7,27 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"kanon/internal/anonymity"
 	"kanon/internal/cluster"
 	"kanon/internal/core"
 	"kanon/internal/datagen"
+	"kanon/internal/fault"
 	"kanon/internal/loss"
 	"kanon/internal/par"
 	"kanon/internal/table"
 )
+
+// SiteRun is the fault-injection site fired once at the start of every
+// experiment run (see internal/fault); it lets tests fail one run of a
+// block and assert the rest complete untouched.
+const SiteRun = "experiment.run"
 
 // Config controls dataset sizes and the k sweep. The zero value is not
 // usable; call DefaultConfig or FullConfig.
@@ -40,6 +48,23 @@ type Config struct {
 	// Log, when non-nil, receives one line per completed run. It is
 	// excluded from JSON output.
 	Log io.Writer `json:"-"`
+	// Deterministic zeroes every wall-clock field of the output (Run.Millis,
+	// the engine phase timings, Block.Millis) so that two runs over the same
+	// config — in particular a checkpointed run resumed after a crash and an
+	// uninterrupted one — serialize byte-identically.
+	Deterministic bool
+	// Ctx, when non-nil, cancels the suite: no further runs start once it is
+	// done, in-flight runs stop at their next scan/merge boundary, and
+	// RunBlock returns ctx.Err(). It is excluded from JSON output.
+	Ctx context.Context `json:"-"`
+	// Completed pre-seeds finished runs by Run.Key(): a scheduled run whose
+	// key is present is not executed, the stored Run is reused verbatim.
+	// This is the resume half of checkpointing. Excluded from JSON output.
+	Completed map[string]Run `json:"-"`
+	// OnRun, when non-nil, is invoked (serially) for every freshly executed
+	// run — not for runs replayed from Completed — as the persistence half
+	// of checkpointing. Excluded from JSON output.
+	OnRun func(Run) `json:"-"`
 }
 
 // DefaultConfig sizes the datasets so the full suite finishes in a few
@@ -78,6 +103,15 @@ type Run struct {
 	// Engine carries the clustering engine's work counters and phase
 	// timings for the agglomerative runs (nil for the other algorithms).
 	Engine *cluster.AggloStats `json:",omitempty"`
+	// Error records why the run produced no result (a recovered panic, an
+	// algorithm error, or a failed verification); the loss fields are zero
+	// and the run is excluded from the block's series. Empty on success.
+	Error string `json:",omitempty"`
+}
+
+// Key identifies a run within a suite, for checkpoint lookups.
+func (r Run) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%d", r.Dataset, r.Measure, r.Algorithm, r.K)
 }
 
 // Series is an algorithm's loss as a function of k.
@@ -220,7 +254,7 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 		for _, k := range c.Ks {
 			k := k
 			jobs = append(jobs, job{v.name, k, func() (*table.GenTable, *cluster.AggloStats, error) {
-				g, _, st, err := core.KAnonymizeStats(s, ds.Table, core.KAnonOptions{
+				g, _, st, err := core.KAnonymizeStatsCtx(c.Ctx, s, ds.Table, core.KAnonOptions{
 					K: k, Distance: v.dist, Modified: v.modified, Workers: c.Workers,
 				})
 				return g, &st, err
@@ -230,57 +264,83 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 	for _, k := range c.Ks {
 		k := k
 		jobs = append(jobs, job{"forest", k, func() (*table.GenTable, *cluster.AggloStats, error) {
-			g, _, err := core.Forest(s, ds.Table, k)
+			g, _, err := core.ForestCtx(c.Ctx, s, ds.Table, k)
 			return g, nil, err
 		}, verifyKAnon})
 		jobs = append(jobs, job{"kk-nearest", k, func() (*table.GenTable, *cluster.AggloStats, error) {
-			g, err := core.KKAnonymizeWorkers(s, ds.Table, k, core.K1ByNearest, c.Workers)
+			g, err := core.KKAnonymizeCtx(c.Ctx, s, ds.Table, k, core.K1ByNearest, c.Workers)
 			return g, nil, err
 		}, verifyKK})
 		jobs = append(jobs, job{"kk-expand", k, func() (*table.GenTable, *cluster.AggloStats, error) {
-			g, err := core.KKAnonymizeWorkers(s, ds.Table, k, core.K1ByExpansion, c.Workers)
+			g, err := core.KKAnonymizeCtx(c.Ctx, s, ds.Table, k, core.K1ByExpansion, c.Workers)
 			return g, nil, err
 		}, verifyKK})
 	}
 
 	blockStart := time.Now()
 	results := make([]Run, len(jobs))
-	errs := make([]error, len(jobs))
+	var onRunMu sync.Mutex
 	p := par.New(c.Workers)
 	defer p.Close()
-	p.Each(len(jobs), func(ji int) {
+	eachErr := p.EachCtx(c.Ctx, len(jobs), func(ji int) {
 		j := jobs[ji]
-		start := time.Now()
-		g, engine, err := j.run()
-		if err != nil {
-			errs[ji] = fmt.Errorf("%s/%s/%s k=%d: %w", dataset, m, j.algorithm, j.k, err)
+		r := Run{Dataset: dataset, Measure: m, Algorithm: j.algorithm, K: j.k}
+		if prev, ok := c.Completed[r.Key()]; ok {
+			results[ji] = prev
+			c.logf("skip %-8s %-2s %-16s k=%-3d (checkpointed)", dataset, m, j.algorithm, j.k)
 			return
 		}
-		r := Run{
-			Dataset: dataset, Measure: m, Algorithm: j.algorithm, K: j.k,
-			Loss:   loss.TableLoss(meas, g),
-			Millis: time.Since(start).Milliseconds(),
-			Engine: engine,
+		start := time.Now()
+		g, engine, err := runRecovered(j.run)
+		switch {
+		case err != nil && ctxDone(c.Ctx):
+			// The suite itself is being cancelled; EachCtx surfaces
+			// ctx.Err() below, and an unfinished run must not be recorded
+			// (or checkpointed) as failed.
+			return
+		case err != nil:
+			r.Error = err.Error()
+		default:
+			r.Loss = loss.TableLoss(meas, g)
+			r.Engine = engine
+			if c.Verify {
+				r.Verified = j.verify(g, j.k)
+				if !r.Verified {
+					r.Error = "output failed verification"
+				}
+			}
 		}
-		if c.Verify {
-			r.Verified = j.verify(g, j.k)
-			if !r.Verified {
-				errs[ji] = fmt.Errorf("%s/%s/%s k=%d: output failed verification", dataset, m, j.algorithm, j.k)
-				return
+		r.Millis = time.Since(start).Milliseconds()
+		if c.Deterministic {
+			r.Millis = 0
+			if r.Engine != nil {
+				e := *r.Engine
+				e.InitNanos, e.SelectNanos, e.RepairNanos, e.AbsorbNanos = 0, 0, 0, 0
+				r.Engine = &e
 			}
 		}
 		results[ji] = r
-		c.logf("done %-8s %-2s %-16s k=%-3d loss=%.4f (%dms)", dataset, m, j.algorithm, j.k, r.Loss, r.Millis)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if r.Error != "" {
+			c.logf("FAIL %-8s %-2s %-16s k=%-3d: %s", dataset, m, j.algorithm, j.k, r.Error)
+		} else {
+			c.logf("done %-8s %-2s %-16s k=%-3d loss=%.4f (%dms)", dataset, m, j.algorithm, j.k, r.Loss, r.Millis)
 		}
+		if c.OnRun != nil {
+			onRunMu.Lock()
+			c.OnRun(r)
+			onRunMu.Unlock()
+		}
+	})
+	if eachErr != nil {
+		return nil, eachErr
 	}
 
-	// Assemble series per algorithm.
+	// Assemble series per algorithm; failed runs contribute no points.
 	byAlg := make(map[string]Series)
 	for _, r := range results {
+		if r.Error != "" {
+			continue
+		}
 		s, ok := byAlg[r.Algorithm]
 		if !ok {
 			s = Series{Algorithm: r.Algorithm, Losses: make(map[int]float64)}
@@ -293,6 +353,9 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 		Runs:   results,
 		Millis: time.Since(blockStart).Milliseconds(),
 	}
+	if c.Deterministic {
+		b.Millis = 0
+	}
 	for _, v := range kAnonVariants() {
 		b.KAnonVariants = append(b.KAnonVariants, byAlg[v.name])
 	}
@@ -303,12 +366,52 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 	return b, nil
 }
 
+// ctxDone reports whether a (possibly nil) context has been cancelled.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
+// runRecovered invokes one run, converting a panic — including panics
+// raised inside the run's own pool helpers, which arrive as *par.TaskPanic
+// — into an error, so a single failing run cannot kill the block.
+func runRecovered(fn func() (*table.GenTable, *cluster.AggloStats, error)) (g *table.GenTable, st *cluster.AggloStats, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if tp, ok := v.(*par.TaskPanic); ok {
+				v = tp.Value
+			}
+			g, st, err = nil, nil, fmt.Errorf("run panicked: %v", v)
+		}
+	}()
+	fault.Inject(SiteRun)
+	return fn()
+}
+
+// complete reports whether the series has a loss for every k — a series
+// with failed runs must not win a "best" selection on a zero default.
+func (s Series) complete(ks []int) bool {
+	for _, k := range ks {
+		if _, ok := s.Losses[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
 func bestBySum(series []Series, ks []int) Series {
-	best := series[0]
-	for _, s := range series[1:] {
-		if s.SumLoss(ks) < best.SumLoss(ks) {
+	best := Series{}
+	for _, s := range series {
+		if !s.complete(ks) {
+			continue
+		}
+		if best.Losses == nil || s.SumLoss(ks) < best.SumLoss(ks) {
 			best = s
 		}
+	}
+	if best.Losses == nil {
+		// Every variant had failures; fall back to the first so callers
+		// always see an algorithm name.
+		return series[0]
 	}
 	return best
 }

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"kanon/internal/fault"
+)
+
+// robustConfig is small and fully deterministic: Workers 1 serializes the
+// job hand-out so fault-site hit counts map to fixed jobs, and
+// Deterministic zeroes every wall-clock field.
+func robustConfig() Config {
+	return Config{
+		NART: 60, NADT: 60, NCMC: 60, Seed: 7, Ks: []int{3},
+		Workers: 1, Verify: true, Deterministic: true,
+	}
+}
+
+func marshalRuns(t *testing.T, runs []Run) []string {
+	t.Helper()
+	out := make([]string, len(runs))
+	for i, r := range runs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// TestRunBlockInjectedPanicIsolated is the fault-containment property:
+// a panic in one experiment run must surface as that run's Error field
+// while every other run stays byte-identical to the fault-free suite.
+func TestRunBlockInjectedPanicIsolated(t *testing.T) {
+	cfg := robustConfig()
+	clean, err := cfg.RunBlock("ART", EM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := fault.NewInjector(fault.Rule{Site: SiteRun, Hit: 3, Action: fault.Panic})
+	deactivate := fault.Activate(in)
+	faulty, err := cfg.RunBlock("ART", EM)
+	deactivate()
+	if err != nil {
+		t.Fatalf("block with one panicking run must still complete: %v", err)
+	}
+
+	cleanJSON := marshalRuns(t, clean.Runs)
+	faultyJSON := marshalRuns(t, faulty.Runs)
+	if len(cleanJSON) != len(faultyJSON) {
+		t.Fatalf("%d vs %d runs", len(cleanJSON), len(faultyJSON))
+	}
+	failed := 0
+	for i := range faultyJSON {
+		if faulty.Runs[i].Error != "" {
+			failed++
+			if !strings.Contains(faulty.Runs[i].Error, "run panicked") {
+				t.Errorf("run %d Error = %q, want a recovered panic", i, faulty.Runs[i].Error)
+			}
+			if faulty.Runs[i].Loss != 0 || faulty.Runs[i].Verified {
+				t.Errorf("failed run %d carries partial output: %+v", i, faulty.Runs[i])
+			}
+			continue
+		}
+		if faultyJSON[i] != cleanJSON[i] {
+			t.Errorf("run %d differs from fault-free suite:\n  clean:  %s\n  faulty: %s",
+				i, cleanJSON[i], faultyJSON[i])
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d failed runs, want exactly 1", failed)
+	}
+	// A failed run must not poison series selection: every series the
+	// clean block chose must still carry finite losses.
+	for k, v := range faulty.BestKAnon.Losses {
+		if v <= 0 {
+			t.Errorf("BestKAnon loss at k=%d is %v after an injected panic", k, v)
+		}
+	}
+}
+
+// TestRunBlockCheckpointRoundTrip replays half the runs through
+// Config.Completed and asserts the assembled block is byte-identical to
+// an uninterrupted one, with OnRun firing only for the fresh half.
+func TestRunBlockCheckpointRoundTrip(t *testing.T) {
+	cfg := robustConfig()
+	full, err := cfg.RunBlock("CMC", LM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullJSON, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a mid-suite kill: only the first half made the checkpoint.
+	cfg.Completed = make(map[string]Run)
+	for _, r := range full.Runs[:len(full.Runs)/2] {
+		cfg.Completed[r.Key()] = r
+	}
+	var fresh []Run
+	cfg.OnRun = func(r Run) { fresh = append(fresh, r) }
+
+	resumed, err := cfg.RunBlock("CMC", LM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedJSON, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fullJSON) != string(resumedJSON) {
+		t.Errorf("resumed block is not byte-identical:\n  full:    %s\n  resumed: %s",
+			fullJSON, resumedJSON)
+	}
+	if want := len(full.Runs) - len(full.Runs)/2; len(fresh) != want {
+		t.Errorf("OnRun fired %d times, want %d (replayed runs must not re-persist)",
+			len(fresh), want)
+	}
+	for _, r := range fresh {
+		if _, ok := cfg.Completed[r.Key()]; ok {
+			t.Errorf("OnRun fired for checkpointed run %s", r.Key())
+		}
+	}
+}
+
+// TestRunBlockSuiteCancel cancels the whole suite mid-block: RunBlock
+// must return ctx.Err() with no block at all, and the run interrupted by
+// the cancellation must not have been handed to OnRun as failed.
+func TestRunBlockSuiteCancel(t *testing.T) {
+	cfg := robustConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Ctx = ctx
+	var persisted []Run
+	cfg.OnRun = func(r Run) { persisted = append(persisted, r) }
+
+	in := fault.NewInjector(fault.Rule{Site: SiteRun, Hit: 4, Action: fault.Cancel}).
+		OnCancel(cancel)
+	deactivate := fault.Activate(in)
+	blk, err := cfg.RunBlock("ADT", EM)
+	deactivate()
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if blk != nil {
+		t.Fatal("cancelled suite returned a partial block")
+	}
+	for _, r := range persisted {
+		if r.Error != "" {
+			t.Errorf("suite cancellation recorded run %s as failed: %q", r.Key(), r.Error)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package fault provides deterministic fault injection for the
+// anonymization engines. Call sites inside the engines (merge boundaries,
+// per-record scans, experiment runs) invoke Inject with a site name; by
+// default that is a single atomic load and nothing else, so the hooks stay
+// compiled into production binaries at negligible cost. Tests activate an
+// Injector holding rules — panic, delay, or cancel at the Nth hit of a
+// site — to prove the cancellation and panic-containment guarantees of the
+// stack under precisely reproducible failures.
+//
+// Rules are deterministic by construction: a rule fires at an exact
+// per-site hit count, and Seeded derives those hit counts from a seed, so
+// a failing injection run can always be replayed bit-for-bit.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Action is what an injection rule does when it fires.
+type Action int
+
+const (
+	// Panic panics with an *Injected value.
+	Panic Action = iota
+	// Delay sleeps for the rule's Delay duration.
+	Delay
+	// Cancel invokes the injector's cancel function (typically a
+	// context.CancelFunc), then continues normally.
+	Cancel
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Cancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Rule arms one injection: at the Hit-th call of Inject(Site) (1-based),
+// perform Action. Hit 0 fires on every call.
+type Rule struct {
+	// Site is the exact injection-point name, e.g. "agglo.merge".
+	Site string
+	// Hit is the 1-based hit count at which the rule fires; 0 fires every
+	// time.
+	Hit int64
+	// Action selects what happens.
+	Action Action
+	// Delay is the sleep duration for Delay actions.
+	Delay time.Duration
+}
+
+// Injected is the panic value of a Panic rule, so recovery code can tell
+// injected panics from real bugs.
+type Injected struct {
+	Site string
+	Hit  int64
+}
+
+// Error implements error so recovered values render cleanly.
+func (e *Injected) Error() string {
+	return fmt.Sprintf("fault: injected panic at %s hit %d", e.Site, e.Hit)
+}
+
+// siteState is the per-site hit counter plus the rules armed for the site.
+type siteState struct {
+	hits  atomic.Int64
+	rules []Rule
+}
+
+// Injector holds an armed rule set. Zero rules is valid (counts hits only).
+// An Injector is safe for concurrent use once activated.
+type Injector struct {
+	sites  map[string]*siteState
+	cancel func()
+}
+
+// NewInjector arms the given rules.
+func NewInjector(rules ...Rule) *Injector {
+	in := &Injector{sites: make(map[string]*siteState)}
+	for _, r := range rules {
+		st, ok := in.sites[r.Site]
+		if !ok {
+			st = &siteState{}
+			in.sites[r.Site] = st
+		}
+		st.rules = append(st.rules, r)
+	}
+	return in
+}
+
+// OnCancel sets the function Cancel rules invoke (typically a
+// context.CancelFunc). Must be called before Activate.
+func (in *Injector) OnCancel(fn func()) *Injector {
+	in.cancel = fn
+	return in
+}
+
+// Hits returns how many times the site has been reached since activation.
+func (in *Injector) Hits(site string) int64 {
+	if st, ok := in.sites[site]; ok {
+		return st.hits.Load()
+	}
+	return 0
+}
+
+// Seeded derives one deterministic Panic rule per site from a seed: the
+// target hit count is spread over [1, maxHit] by a splitmix64 hash of the
+// seed and site index. Useful for property tests that want the failure
+// point to vary across seeds yet replay exactly per seed.
+func Seeded(seed int64, maxHit int64, sites ...string) []Rule {
+	if maxHit < 1 {
+		maxHit = 1
+	}
+	rules := make([]Rule, len(sites))
+	for i, site := range sites {
+		x := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		rules[i] = Rule{Site: site, Hit: int64(x%uint64(maxHit)) + 1, Action: Panic}
+	}
+	return rules
+}
+
+// current is the active injector; nil means every Inject call is a no-op.
+var current atomic.Pointer[Injector]
+
+// Activate installs the injector globally and returns a function that
+// deactivates it. Tests must call the returned function (defer it); only
+// one injector may be active at a time, and activation while another is
+// active panics to surface test interference early.
+func Activate(in *Injector) (deactivate func()) {
+	if !current.CompareAndSwap(nil, in) {
+		panic("fault: an injector is already active")
+	}
+	return func() { current.CompareAndSwap(in, nil) }
+}
+
+// Active reports whether an injector is currently installed.
+func Active() bool { return current.Load() != nil }
+
+// Inject is the engine-side hook: a no-op unless an injector with rules
+// for the site is active. Sites are hit-counted per activation.
+func Inject(site string) {
+	in := current.Load()
+	if in == nil {
+		return
+	}
+	st, ok := in.sites[site]
+	if !ok {
+		return
+	}
+	hit := st.hits.Add(1)
+	for _, r := range st.rules {
+		if r.Hit != 0 && r.Hit != hit {
+			continue
+		}
+		switch r.Action {
+		case Panic:
+			panic(&Injected{Site: site, Hit: hit})
+		case Delay:
+			time.Sleep(r.Delay)
+		case Cancel:
+			if in.cancel != nil {
+				in.cancel()
+			}
+		}
+	}
+}

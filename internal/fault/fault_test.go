@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInjectNoopWithoutInjector(t *testing.T) {
+	// Must not panic, and must be callable from anywhere at any time.
+	Inject("no.such.site")
+	if Active() {
+		t.Fatal("no injector should be active")
+	}
+}
+
+func TestPanicRuleFiresAtExactHit(t *testing.T) {
+	in := NewInjector(Rule{Site: "s", Hit: 3, Action: Panic})
+	defer Activate(in)()
+
+	Inject("s")
+	Inject("s")
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatal("expected injected panic at hit 3")
+			}
+			inj, ok := v.(*Injected)
+			if !ok {
+				t.Fatalf("panic value %T, want *Injected", v)
+			}
+			if inj.Site != "s" || inj.Hit != 3 {
+				t.Fatalf("got %+v, want site s hit 3", inj)
+			}
+		}()
+		Inject("s")
+	}()
+	Inject("s") // hit 4: rule no longer fires
+	if got := in.Hits("s"); got != 4 {
+		t.Fatalf("Hits = %d, want 4", got)
+	}
+}
+
+func TestHitZeroFiresEveryTime(t *testing.T) {
+	in := NewInjector(Rule{Site: "s", Hit: 0, Action: Delay, Delay: time.Microsecond})
+	defer Activate(in)()
+	Inject("s")
+	Inject("s")
+	if got := in.Hits("s"); got != 2 {
+		t.Fatalf("Hits = %d, want 2", got)
+	}
+}
+
+func TestCancelRuleInvokesCallback(t *testing.T) {
+	cancelled := 0
+	in := NewInjector(Rule{Site: "s", Hit: 1, Action: Cancel}).OnCancel(func() { cancelled++ })
+	defer Activate(in)()
+	Inject("s")
+	Inject("s")
+	if cancelled != 1 {
+		t.Fatalf("cancel fired %d times, want 1", cancelled)
+	}
+}
+
+func TestActivateIsExclusive(t *testing.T) {
+	deactivate := Activate(NewInjector())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second Activate should panic")
+			}
+		}()
+		Activate(NewInjector())
+	}()
+	deactivate()
+	// After deactivation a fresh injector may be installed again.
+	Activate(NewInjector())()
+}
+
+func TestSeededIsDeterministicAndBounded(t *testing.T) {
+	sites := []string{"a", "b", "c"}
+	r1 := Seeded(7, 100, sites...)
+	r2 := Seeded(7, 100, sites...)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("Seeded not deterministic: %+v vs %+v", r1[i], r2[i])
+		}
+		if r1[i].Hit < 1 || r1[i].Hit > 100 {
+			t.Fatalf("hit %d out of [1,100]", r1[i].Hit)
+		}
+		if r1[i].Site != sites[i] || r1[i].Action != Panic {
+			t.Fatalf("unexpected rule %+v", r1[i])
+		}
+	}
+	r3 := Seeded(8, 100, sites...)
+	same := true
+	for i := range r1 {
+		if r1[i].Hit != r3[i].Hit {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical hit counts for all sites")
+	}
+}
+
+func TestInjectedError(t *testing.T) {
+	e := &Injected{Site: "x", Hit: 2}
+	if e.Error() == "" {
+		t.Fatal("empty error string")
+	}
+	if Panic.String() != "panic" || Delay.String() != "delay" || Cancel.String() != "cancel" {
+		t.Fatal("Action.String mismatch")
+	}
+}

@@ -15,13 +15,47 @@
 // Task submission never blocks: if no helper goroutine is free the
 // submitting goroutine runs the task inline, so pools cannot deadlock even
 // when nested or shared.
+//
+// Robustness: every task body (helper or inline) runs under a recover; the
+// first captured panic is re-raised on the submitting goroutine as a
+// *TaskPanic after all spans drained, so a panicking task can never kill
+// the process from a helper goroutine or leave the pool's accounting
+// wedged. The *Ctx variants additionally stop handing out spans or indices
+// once the supplied context is done and return ctx.Err() after draining
+// the tasks already started.
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// TaskPanic wraps a panic captured inside a pool task; the pool re-raises
+// it on the goroutine that submitted the work once all in-flight tasks
+// drained. Value is the original panic value and Stack the stack of the
+// panicking task.
+type TaskPanic struct {
+	Value interface{}
+	Stack []byte
+}
+
+// Error implements error so recovered TaskPanics render cleanly.
+func (t *TaskPanic) Error() string {
+	return fmt.Sprintf("par: panic in pool task: %v", t.Value)
+}
+
+// Unwrap exposes the original panic value when it was an error, so
+// errors.As can reach through a recovered TaskPanic.
+func (t *TaskPanic) Unwrap() error {
+	if err, ok := t.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Workers resolves a requested worker count: values ≤ 0 select
 // runtime.NumCPU(), anything positive is returned unchanged.
@@ -74,6 +108,42 @@ func (p *Pool) Close() {
 	}
 }
 
+// panicBox captures the first panic raised inside pool tasks so it can be
+// re-raised on the submitting goroutine after the pool drained.
+type panicBox struct {
+	tp atomic.Pointer[TaskPanic]
+}
+
+// run executes fn, converting a panic into a stored TaskPanic (first one
+// wins; nested TaskPanics are not double-wrapped).
+func (b *panicBox) run(fn func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			tp, ok := v.(*TaskPanic)
+			if !ok {
+				tp = &TaskPanic{Value: v, Stack: debug.Stack()}
+			}
+			b.tp.CompareAndSwap(nil, tp)
+		}
+	}()
+	fn()
+}
+
+// tripped reports whether a task already panicked (pending re-raise).
+func (b *panicBox) tripped() bool { return b.tp.Load() != nil }
+
+// rethrow re-raises the captured panic, if any, on the calling goroutine.
+func (b *panicBox) rethrow() {
+	if tp := b.tp.Load(); tp != nil {
+		panic(tp)
+	}
+}
+
+// done reports whether the context is non-nil and already cancelled.
+func done(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
 // ForSpans splits [0, n) into at most Size() contiguous spans of at least
 // grain indices each and runs fn(lo, hi, span) for every span concurrently,
 // returning once all spans finished. Span indices are dense in [0, spans)
@@ -81,8 +151,24 @@ func (p *Pool) Close() {
 // (n, grain, Size()). fn must confine its writes to its index range or to
 // span-indexed state. Returns the number of spans used.
 func (p *Pool) ForSpans(n, grain int, fn func(lo, hi, span int)) int {
-	if n <= 0 {
-		return 0
+	spans, _ := p.forSpans(nil, n, grain, fn)
+	return spans
+}
+
+// ForSpansCtx is ForSpans under a context: spans not yet dispatched when
+// ctx is done are skipped, already-running spans drain, and the call
+// returns ctx.Err() (with the span count actually run). fn must check ctx
+// itself if individual spans are long.
+func (p *Pool) ForSpansCtx(ctx context.Context, n, grain int, fn func(lo, hi, span int)) (int, error) {
+	return p.forSpans(ctx, n, grain, fn)
+}
+
+func (p *Pool) forSpans(ctx context.Context, n, grain int, fn func(lo, hi, span int)) (int, error) {
+	if n <= 0 || done(ctx) {
+		if ctx != nil {
+			return 0, ctx.Err()
+		}
+		return 0, nil
 	}
 	if grain < 1 {
 		grain = 1
@@ -93,15 +179,22 @@ func (p *Pool) ForSpans(n, grain int, fn func(lo, hi, span int)) int {
 	}
 	if spans <= 1 || p.tasks == nil {
 		fn(0, n, 0)
-		return 1
+		if ctx != nil {
+			return 1, ctx.Err()
+		}
+		return 1, nil
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(spans - 1)
 	for w := spans - 1; w >= 1; w-- {
 		lo, hi, span := n*w/spans, n*(w+1)/spans, w
 		task := func() {
 			defer wg.Done()
-			fn(lo, hi, span)
+			if box.tripped() || done(ctx) {
+				return
+			}
+			box.run(func() { fn(lo, hi, span) })
 		}
 		select {
 		case p.tasks <- task:
@@ -109,9 +202,15 @@ func (p *Pool) ForSpans(n, grain int, fn func(lo, hi, span int)) int {
 			task() // no helper free: run inline rather than block
 		}
 	}
-	fn(0, n/spans, 0)
+	if !box.tripped() && !done(ctx) {
+		box.run(func() { fn(0, n/spans, 0) })
+	}
 	wg.Wait()
-	return spans
+	box.rethrow()
+	if ctx != nil {
+		return spans, ctx.Err()
+	}
+	return spans, nil
 }
 
 // For runs fn(i) for every i in [0, n), sharded into contiguous spans of at
@@ -124,28 +223,67 @@ func (p *Pool) For(n, grain int, fn func(i int)) {
 	})
 }
 
+// ForCtx is For under a context: the per-span index loops stop handing fn
+// new indices once ctx is done, and the call returns ctx.Err().
+func (p *Pool) ForCtx(ctx context.Context, n, grain int, fn func(i int)) error {
+	_, err := p.forSpans(ctx, n, grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			if done(ctx) {
+				return
+			}
+			fn(i)
+		}
+	})
+	return err
+}
+
 // Each runs fn(i) for every i in [0, n) with dynamic scheduling: workers
 // pull the next index from a shared atomic cursor, so long tasks do not
 // stall a whole span. Use for heterogeneous task durations. fn must confine
 // its writes to per-index state, which also keeps results deterministic.
 func (p *Pool) Each(n int, fn func(i int)) {
-	if n <= 0 {
-		return
+	p.each(nil, n, fn)
+}
+
+// EachCtx is Each under a context: once ctx is done no further indices are
+// handed out, indices already running drain, and ctx.Err() is returned.
+func (p *Pool) EachCtx(ctx context.Context, n int, fn func(i int)) error {
+	return p.each(ctx, n, fn)
+}
+
+func (p *Pool) each(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 || done(ctx) {
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
 	}
 	if p.tasks == nil || n == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
+		var box panicBox
+		for i := 0; i < n && !done(ctx) && !box.tripped(); i++ {
+			i := i
+			box.run(func() { fn(i) })
 		}
-		return
+		box.rethrow()
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
 	}
+	var box panicBox
 	var cursor atomic.Int64
 	loop := func() {
 		for {
+			// A tripped box or done context stops the hand-out; indices
+			// already running elsewhere drain on their own workers.
+			if box.tripped() || done(ctx) {
+				return
+			}
 			i := int(cursor.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			fn(i)
+			box.run(func() { fn(i) })
 		}
 	}
 	helpers := p.workers - 1
@@ -167,4 +305,9 @@ func (p *Pool) Each(n int, fn func(i int)) {
 	}
 	loop()
 	wg.Wait()
+	box.rethrow()
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }

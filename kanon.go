@@ -25,6 +25,7 @@
 package kanon
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -103,7 +104,15 @@ type Table struct {
 // (each value may only be kept or fully suppressed); install richer ones
 // with SetHierarchiesJSON.
 func LoadCSV(r io.Reader, header bool) (*Table, error) {
-	tbl, err := dataio.ReadCSV(r, header)
+	return LoadCSVLimit(r, header, 0)
+}
+
+// LoadCSVLimit is LoadCSV with a record cap: a stream with more than
+// maxRecords data rows fails fast with a typed error instead of feeding a
+// runaway input to the (quadratic) anonymizers. maxRecords ≤ 0 means
+// unlimited.
+func LoadCSVLimit(r io.Reader, header bool, maxRecords int) (*Table, error) {
+	tbl, err := dataio.ReadCSVOptions(r, dataio.ReadOptions{Header: header, MaxRecords: maxRecords})
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +288,14 @@ type Result struct {
 // Anonymize generalizes the table until it satisfies the requested notion,
 // minimizing the requested information-loss measure heuristically.
 func Anonymize(t *Table, opt Options) (*Result, error) {
+	return AnonymizeContext(nil, t, opt)
+}
+
+// AnonymizeContext is Anonymize under a context: every pipeline checks for
+// cancellation at its scan/merge boundaries, and once ctx is done the call
+// returns ctx.Err() promptly with no partial output. A nil ctx disables
+// cancellation (identical to Anonymize).
+func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, error) {
 	if opt.K < 1 {
 		return nil, fmt.Errorf("kanon: Options.K must be ≥ 1, got %d", opt.K)
 	}
@@ -313,9 +330,9 @@ func Anonymize(t *Table, opt Options) (*Result, error) {
 			}
 			var g *table.GenTable
 			if opt.Forest {
-				g, _, err = core.Forest(s, t.tbl, opt.K)
+				g, _, err = core.ForestCtx(ctx, s, t.tbl, opt.K)
 			} else {
-				g, _, err = core.FullDomain(s, t.tbl, opt.K)
+				g, _, err = core.FullDomainCtx(ctx, s, t.tbl, opt.K)
 			}
 			if err != nil {
 				return nil, err
@@ -337,14 +354,14 @@ func Anonymize(t *Table, opt Options) (*Result, error) {
 		case opt.Diversity >= 2 && opt.MaxChunk > 0:
 			return nil, fmt.Errorf("kanon: Diversity and MaxChunk cannot be combined")
 		case opt.Diversity >= 2:
-			g, _, err = core.KAnonymizeDiverse(s, t.tbl, kopt, opt.Diversity, t.sensitive)
+			g, _, err = core.KAnonymizeDiverseCtx(ctx, s, t.tbl, kopt, opt.Diversity, t.sensitive)
 		case opt.MaxChunk > 0:
-			g, _, err = core.KAnonymizePartitioned(s, t.tbl, core.PartitionedOptions{
+			g, _, err = core.KAnonymizePartitionedCtx(ctx, s, t.tbl, core.PartitionedOptions{
 				K: opt.K, Distance: dist, Modified: opt.Modified, MaxChunk: opt.MaxChunk,
 				Workers: opt.Workers,
 			})
 		default:
-			g, _, err = core.KAnonymize(s, t.tbl, kopt)
+			g, _, err = core.KAnonymizeCtx(ctx, s, t.tbl, kopt)
 		}
 		if err != nil {
 			return nil, err
@@ -357,9 +374,9 @@ func Anonymize(t *Table, opt Options) (*Result, error) {
 		}
 		var g *table.GenTable
 		if opt.Diversity >= 2 {
-			g, err = core.KKAnonymizeDiverseWorkers(s, t.tbl, opt.K, opt.Diversity, alg, t.sensitive, opt.Workers)
+			g, err = core.KKAnonymizeDiverseCtx(ctx, s, t.tbl, opt.K, opt.Diversity, alg, t.sensitive, opt.Workers)
 		} else {
-			g, err = core.KKAnonymizeWorkers(s, t.tbl, opt.K, alg, opt.Workers)
+			g, err = core.KKAnonymizeCtx(ctx, s, t.tbl, opt.K, alg, opt.Workers)
 		}
 		if err != nil {
 			return nil, err
@@ -370,11 +387,11 @@ func Anonymize(t *Table, opt Options) (*Result, error) {
 		if opt.UseNearest {
 			alg = core.K1ByNearest
 		}
-		g, err := core.KKAnonymizeWorkers(s, t.tbl, opt.K, alg, opt.Workers)
+		g, err := core.KKAnonymizeCtx(ctx, s, t.tbl, opt.K, alg, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
-		g, stats, err := core.MakeGlobal1K(s, t.tbl, g, opt.K)
+		g, stats, err := core.MakeGlobal1KCtx(ctx, s, t.tbl, g, opt.K)
 		if err != nil {
 			return nil, err
 		}
