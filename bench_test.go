@@ -10,6 +10,7 @@
 package kanon
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"kanon/internal/datagen"
 	"kanon/internal/experiment"
 	"kanon/internal/loss"
+	"kanon/internal/obs"
 )
 
 // benchConfig sizes the datasets so every Table-I block completes in
@@ -223,6 +225,41 @@ func BenchmarkScalability(b *testing.B) {
 			l = loss.TableLoss(em, g)
 		}
 		b.ReportMetric(l, "infoloss")
+	})
+}
+
+// BenchmarkObserverOverhead quantifies the observability tax on the
+// hottest pipeline, the agglomerative engine: "disabled" is the nil
+// *obs.Run fast path every un-observed run takes (guarded to zero
+// allocations by the tests in internal/obs), "metrics" tees the full
+// event stream into an aggregator. The disabled variant must track the
+// pre-instrumentation cost within noise (<2%); compare the two variants
+// to see the worst-case price of observing.
+func BenchmarkObserverOverhead(b *testing.B) {
+	ds := datagen.Adult(500, 42)
+	em, err := loss.NewEntropy(ds.Table, ds.Hiers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := cluster.NewSpace(ds.Hiers, em)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 10
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.KAnonymize(s, ds.Table, core.KAnonOptions{K: k}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := obs.With(context.Background(), obs.NewMetrics())
+			if _, _, err := core.KAnonymizeCtx(ctx, s, ds.Table, core.KAnonOptions{K: k}); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,16 +45,12 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker pool size for the parallel anonymizers (0 = all CPUs, 1 = sequential; output is identical)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no limit)")
 		maxRec    = flag.Int("max-records", 0, "fail fast when the input has more than this many records (0 = no limit)")
+		stats     = flag.Bool("stats", false, "print the run's statistics (phases, counters, peaks) as JSON on stderr")
+		profile   = flag.String("profile", "", "write cpu.pprof, heap.pprof and trace.out into this directory")
 	)
 	flag.Parse()
 
-	var ctx context.Context
-	if *timeout > 0 {
-		c, cancel := context.WithTimeout(context.Background(), *timeout)
-		defer cancel()
-		ctx = c
-	}
-	if err := run(ctx, *inPath, *hierPath, *outPath, *sensPath, *autoHier, *maxRec, !*noHeader, kanon.Options{
+	opt := kanon.Options{
 		K:          *k,
 		Notion:     kanon.Notion(*notion),
 		Measure:    kanon.MeasureName(*measure),
@@ -64,36 +61,95 @@ func main() {
 		UseNearest: *nearest,
 		Diversity:  *diversity,
 		Workers:    *workers,
-	}, *verify); err != nil {
+	}
+	// Reject bad option combinations before touching any data, naming the
+	// offending flag.
+	if err := opt.Validate(); err != nil {
+		var oe *kanon.OptionsError
+		if errors.As(err, &oe) {
+			fmt.Fprintf(os.Stderr, "kanon: bad -%s: %s (value %v)\n", flagFor(oe.Field), oe.Reason, oe.Value)
+		} else {
+			fmt.Fprintln(os.Stderr, "kanon:", err)
+		}
+		os.Exit(2)
+	}
+
+	var ctx context.Context
+	if *timeout > 0 {
+		c, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		ctx = c
+	}
+	if err := run(ctx, runConfig{
+		In:         *inPath,
+		Hier:       *hierPath,
+		Out:        *outPath,
+		Sensitive:  *sensPath,
+		AutoHier:   *autoHier,
+		MaxRecords: *maxRec,
+		Header:     !*noHeader,
+		Opt:        opt,
+		Verify:     *verify,
+		Stats:      *stats,
+		Profile:    *profile,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "kanon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, inPath, hierPath, outPath, sensPath string, autoHier, maxRecords int, header bool, opt kanon.Options, verify bool) error {
+// flagFor maps an OptionsError field to the CLI flag that feeds it.
+func flagFor(field string) string {
+	switch field {
+	case "K":
+		return "k"
+	case "FullDomain":
+		return "full-domain"
+	default:
+		return strings.ToLower(field)
+	}
+}
+
+// runConfig collects everything one CLI invocation needs; flags map onto it
+// 1:1.
+type runConfig struct {
+	In, Hier, Out, Sensitive string
+	AutoHier                 int
+	MaxRecords               int
+	Header                   bool
+	Opt                      kanon.Options
+	Verify                   bool
+	// Stats prints the run's RunStats as JSON on stderr.
+	Stats bool
+	// Profile, when non-empty, is a directory receiving cpu.pprof,
+	// heap.pprof and trace.out captures bracketing the anonymization.
+	Profile string
+}
+
+func run(ctx context.Context, c runConfig) error {
 	var in io.Reader = os.Stdin
-	if inPath != "" {
-		f, err := os.Open(inPath)
+	if c.In != "" {
+		f, err := os.Open(c.In)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		in = f
 	}
-	tbl, err := kanon.LoadCSVLimit(in, header, maxRecords)
+	tbl, err := kanon.LoadCSVLimit(in, c.Header, c.MaxRecords)
 	if err != nil {
 		return err
 	}
-	if hierPath != "" && autoHier > 0 {
+	if c.Hier != "" && c.AutoHier > 0 {
 		return fmt.Errorf("-hier and -auto-hier are mutually exclusive")
 	}
-	if autoHier > 0 {
-		if err := tbl.AutoHierarchies(autoHier); err != nil {
+	if c.AutoHier > 0 {
+		if err := tbl.AutoHierarchies(c.AutoHier); err != nil {
 			return err
 		}
 	}
-	if hierPath != "" {
-		hf, err := os.Open(hierPath)
+	if c.Hier != "" {
+		hf, err := os.Open(c.Hier)
 		if err != nil {
 			return err
 		}
@@ -103,8 +159,8 @@ func run(ctx context.Context, inPath, hierPath, outPath, sensPath string, autoHi
 			return err
 		}
 	}
-	if sensPath != "" {
-		data, err := os.ReadFile(sensPath)
+	if c.Sensitive != "" {
+		data, err := os.ReadFile(c.Sensitive)
 		if err != nil {
 			return err
 		}
@@ -114,7 +170,27 @@ func run(ctx context.Context, inPath, hierPath, outPath, sensPath string, autoHi
 		}
 	}
 
+	opt := c.Opt
+	var prof *kanon.Profile
+	if c.Profile != "" {
+		if err := os.MkdirAll(c.Profile, 0o755); err != nil {
+			return err
+		}
+		// A trace observer pairs the trace.out capture with per-phase
+		// regions.
+		opt.Observer = kanon.TraceObserver()
+		p, err := kanon.StartProfile(kanon.ProfileDir(c.Profile))
+		if err != nil {
+			return err
+		}
+		prof = p
+	}
 	res, err := kanon.AnonymizeContext(ctx, tbl, opt)
+	if prof != nil {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}
 	if err != nil {
 		if ctx != nil && ctx.Err() != nil {
 			return fmt.Errorf("run did not finish within the -timeout: %w", err)
@@ -123,8 +199,8 @@ func run(ctx context.Context, inPath, hierPath, outPath, sensPath string, autoHi
 	}
 
 	var out io.Writer = os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if c.Out != "" {
+		f, err := os.Create(c.Out)
 		if err != nil {
 			return err
 		}
@@ -137,12 +213,15 @@ func run(ctx context.Context, inPath, hierPath, outPath, sensPath string, autoHi
 
 	fmt.Fprintf(os.Stderr, "n=%d k=%d notion=%s measure=%s loss=%.4f discernibility=%d\n",
 		tbl.Len(), opt.K, opt.Notion, opt.Measure, res.Loss(), res.Discernibility())
+	st := res.Stats()
 	if opt.Notion == kanon.NotionGlobal1K {
-		st := res.UpgradeStats
 		fmt.Fprintf(os.Stderr, "global upgrade: %d deficient records, %d widening steps\n",
-			st.DeficientRecords, st.GeneralizationSteps)
+			st.Counter("core.global.deficient"), st.Counter("core.global.steps"))
 	}
-	if verify {
+	if c.Stats {
+		fmt.Fprintln(os.Stderr, st.JSON())
+	}
+	if c.Verify {
 		fmt.Fprintln(os.Stderr, res.Verify(opt.K))
 	}
 	return nil

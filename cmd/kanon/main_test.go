@@ -42,7 +42,10 @@ func TestRunEndToEnd(t *testing.T) {
 	out := filepath.Join(dir, "out.csv")
 
 	for _, notion := range []kanon.Notion{kanon.NotionK, kanon.NotionKK, kanon.NotionGlobal1K} {
-		err := run(nil, in, hier, out, "", 0, 0, true, kanon.Options{K: 3, Notion: notion, Measure: kanon.MeasureEntropy, Distance: "d3"}, true)
+		err := run(nil, runConfig{
+			In: in, Hier: hier, Out: out, Header: true, Verify: true,
+			Opt: kanon.Options{K: 3, Notion: notion, Measure: kanon.MeasureEntropy, Distance: "d3"},
+		})
 		if err != nil {
 			t.Fatalf("notion %s: %v", notion, err)
 		}
@@ -64,10 +67,12 @@ func TestRunForestAndVariants(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFile(t, dir, "in.csv", testCSV)
 	out := filepath.Join(dir, "out.csv")
-	if err := run(nil, in, "", out, "", 0, 0, true, kanon.Options{K: 2, Notion: kanon.NotionK, Forest: true, Measure: kanon.MeasureLM}, false); err != nil {
+	if err := run(nil, runConfig{In: in, Out: out, Header: true,
+		Opt: kanon.Options{K: 2, Notion: kanon.NotionK, Forest: true, Measure: kanon.MeasureLM}}); err != nil {
 		t.Fatalf("forest: %v", err)
 	}
-	if err := run(nil, in, "", out, "", 0, 0, true, kanon.Options{K: 2, Notion: kanon.NotionKK, UseNearest: true, Measure: kanon.MeasureLM}, false); err != nil {
+	if err := run(nil, runConfig{In: in, Out: out, Header: true,
+		Opt: kanon.Options{K: 2, Notion: kanon.NotionKK, UseNearest: true, Measure: kanon.MeasureLM}}); err != nil {
 		t.Fatalf("nearest: %v", err)
 	}
 }
@@ -75,27 +80,27 @@ func TestRunForestAndVariants(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFile(t, dir, "in.csv", testCSV)
-	if err := run(nil, filepath.Join(dir, "missing.csv"), "", "", "", 0, 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, runConfig{In: filepath.Join(dir, "missing.csv"), Header: true, Opt: kanon.Options{K: 2}}); err == nil {
 		t.Error("expected error for missing input")
 	}
-	if err := run(nil, in, filepath.Join(dir, "missing.json"), "", "", 0, 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, runConfig{In: in, Hier: filepath.Join(dir, "missing.json"), Header: true, Opt: kanon.Options{K: 2}}); err == nil {
 		t.Error("expected error for missing hierarchy file")
 	}
 	bad := writeFile(t, dir, "bad.json", "{")
-	if err := run(nil, in, bad, "", "", 0, 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, runConfig{In: in, Hier: bad, Header: true, Opt: kanon.Options{K: 2}}); err == nil {
 		t.Error("expected error for bad hierarchy JSON")
 	}
-	if err := run(nil, in, "", "", "", 0, 0, true, kanon.Options{K: 0}, false); err == nil {
+	if err := run(nil, runConfig{In: in, Header: true, Opt: kanon.Options{K: 0}}); err == nil {
 		t.Error("expected error for k=0")
 	}
-	if err := run(nil, in, "", filepath.Join(dir, "nodir", "out.csv"), "", 0, 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, runConfig{In: in, Out: filepath.Join(dir, "nodir", "out.csv"), Header: true, Opt: kanon.Options{K: 2}}); err == nil {
 		t.Error("expected error for unwritable output")
 	}
-	if err := run(nil, in, "", "", filepath.Join(dir, "missing-sens.txt"), 0, 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, runConfig{In: in, Sensitive: filepath.Join(dir, "missing-sens.txt"), Header: true, Opt: kanon.Options{K: 2}}); err == nil {
 		t.Error("expected error for missing sensitive file")
 	}
 	short := writeFile(t, dir, "short-sens.txt", "a\nb\n")
-	if err := run(nil, in, "", "", short, 0, 0, true, kanon.Options{K: 2}, false); err == nil {
+	if err := run(nil, runConfig{In: in, Sensitive: short, Header: true, Opt: kanon.Options{K: 2}}); err == nil {
 		t.Error("expected error for wrong sensitive length")
 	}
 }
@@ -104,7 +109,8 @@ func TestRunAutoHier(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFile(t, dir, "in.csv", testCSV)
 	out := filepath.Join(dir, "out.csv")
-	if err := run(nil, in, "", out, "", 3, 0, true, kanon.Options{K: 3, Notion: kanon.NotionKK}, true); err != nil {
+	if err := run(nil, runConfig{In: in, Out: out, AutoHier: 3, Header: true, Verify: true,
+		Opt: kanon.Options{K: 3, Notion: kanon.NotionKK}}); err != nil {
 		t.Fatalf("auto-hier run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -115,7 +121,8 @@ func TestRunAutoHier(t *testing.T) {
 		t.Errorf("auto-hier output shows no generalization: %s", data)
 	}
 	hier := writeFile(t, dir, "hier.json", testHier)
-	if err := run(nil, in, hier, out, "", 3, 0, true, kanon.Options{K: 3}, false); err == nil {
+	if err := run(nil, runConfig{In: in, Hier: hier, Out: out, AutoHier: 3, Header: true,
+		Opt: kanon.Options{K: 3}}); err == nil {
 		t.Error("expected -hier/-auto-hier exclusion error")
 	}
 }
@@ -126,8 +133,8 @@ func TestRunDiversity(t *testing.T) {
 	hier := writeFile(t, dir, "hier.json", testHier)
 	sens := writeFile(t, dir, "sens.txt", "flu\ncancer\nflu\ncancer\nflu\ncancer\n")
 	out := filepath.Join(dir, "out.csv")
-	err := run(nil, in, hier, out, sens, 0, 0, true,
-		kanon.Options{K: 2, Notion: kanon.NotionKK, Diversity: 2}, true)
+	err := run(nil, runConfig{In: in, Hier: hier, Out: out, Sensitive: sens, Header: true, Verify: true,
+		Opt: kanon.Options{K: 2, Notion: kanon.NotionKK, Diversity: 2}})
 	if err != nil {
 		t.Fatalf("diversity run: %v", err)
 	}
@@ -138,10 +145,48 @@ func TestRunFullDomain(t *testing.T) {
 	in := writeFile(t, dir, "in.csv", testCSV)
 	hier := writeFile(t, dir, "hier.json", testHier)
 	out := filepath.Join(dir, "out.csv")
-	err := run(nil, in, hier, out, "", 0, 0, true,
-		kanon.Options{K: 3, Notion: kanon.NotionK, FullDomain: true}, true)
+	err := run(nil, runConfig{In: in, Hier: hier, Out: out, Header: true, Verify: true,
+		Opt: kanon.Options{K: 3, Notion: kanon.NotionK, FullDomain: true}})
 	if err != nil {
 		t.Fatalf("full-domain run: %v", err)
+	}
+}
+
+// TestRunStatsAndProfile exercises the -stats and -profile plumbing: the
+// run must succeed, and the profile directory must hold non-empty capture
+// files afterwards.
+func TestRunStatsAndProfile(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.csv", testCSV)
+	hier := writeFile(t, dir, "hier.json", testHier)
+	out := filepath.Join(dir, "out.csv")
+	prof := filepath.Join(dir, "prof")
+	err := run(nil, runConfig{In: in, Hier: hier, Out: out, Header: true, Stats: true, Profile: prof,
+		Opt: kanon.Options{K: 3, Notion: kanon.NotionKK}})
+	if err != nil {
+		t.Fatalf("stats+profile run: %v", err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof", "trace.out"} {
+		fi, err := os.Stat(filepath.Join(prof, name))
+		if err != nil {
+			t.Errorf("missing capture %s: %v", name, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("capture %s is empty", name)
+		}
+	}
+}
+
+// TestFlagFor pins the OptionsError-field → flag-name mapping used by the
+// early-validation error message.
+func TestFlagFor(t *testing.T) {
+	for field, flag := range map[string]string{
+		"K": "k", "Notion": "notion", "Measure": "measure",
+		"Distance": "distance", "Forest": "forest",
+		"FullDomain": "full-domain", "Diversity": "diversity",
+	} {
+		if got := flagFor(field); got != flag {
+			t.Errorf("flagFor(%q) = %q, want %q", field, got, flag)
+		}
 	}
 }
 
@@ -175,7 +220,8 @@ func TestRunMalformedInputNeverPanics(t *testing.T) {
 				}
 			}()
 			in := writeFile(t, dir, "in.csv", tc.csv)
-			err := run(nil, in, tc.hier, "", tc.sens, 0, tc.max, true, kanon.Options{K: 2}, false)
+			err := run(nil, runConfig{In: in, Hier: tc.hier, Sensitive: tc.sens, MaxRecords: tc.max, Header: true,
+				Opt: kanon.Options{K: 2}})
 			if err == nil {
 				t.Fatal("malformed input produced no error")
 			}
@@ -191,7 +237,7 @@ func TestRunCancelled(t *testing.T) {
 	out := filepath.Join(dir, "out.csv")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, in, "", out, "", 0, 0, true, kanon.Options{K: 2}, false)
+	err := run(ctx, runConfig{In: in, Out: out, Header: true, Opt: kanon.Options{K: 2}})
 	if err == nil || !strings.Contains(err.Error(), "-timeout") {
 		t.Fatalf("err = %v, want a -timeout message", err)
 	}

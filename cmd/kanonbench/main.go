@@ -45,6 +45,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the suite after this duration (e.g. 10m; 0 = no limit)")
 		ckpt    = flag.String("checkpoint", "", "JSONL file persisting each completed run; implies deterministic output (timing fields zeroed)")
 		resume  = flag.Bool("resume", false, "skip runs already recorded in the -checkpoint file")
+		metrics = flag.Bool("metrics", false, "attach per-run engine metrics (phase walls, counters, peaks) to every output row")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Verify = *verify
 	cfg.Workers = *workers
+	cfg.Metrics = *metrics
 	if *nART > 0 {
 		cfg.NART = *nART
 	}

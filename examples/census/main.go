@@ -70,10 +70,11 @@ func main() {
 	}
 
 	global := results[len(results)-1]
-	st := global.UpgradeStats
+	st := global.Stats()
 	fmt.Printf("\nglobal upgrade (Algorithm 6): %d of %d records were deficient "+
 		"(min matches %d); %d widening steps repaired them (max %d per record)\n",
-		st.DeficientRecords, tbl.Len(), st.InitialMinMatches, st.GeneralizationSteps, st.MaxStepsPerRecord)
+		st.Counter("core.global.deficient"), tbl.Len(), st.Counter("core.global.min_matches"),
+		st.Counter("core.global.steps"), st.Peaks["core.global.max_steps"])
 
 	// A data consumer's view: how large are the indistinguishability groups?
 	sizes := results[2].GroupSizes()

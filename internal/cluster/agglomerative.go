@@ -8,8 +8,21 @@ import (
 	"time"
 
 	"kanon/internal/fault"
+	"kanon/internal/obs"
 	"kanon/internal/par"
 	"kanon/internal/table"
+)
+
+// Observability phases of the engine (obs.KindPhaseStart/End); the
+// partitioned pipeline re-enters them once per chunk.
+const (
+	// PhaseInit is singleton construction plus the initial O(n²)
+	// nearest-neighbour build.
+	PhaseInit = "cluster.init"
+	// PhaseMerge is the main merge loop, including nearest-neighbour repair.
+	PhaseMerge = "cluster.merge"
+	// PhaseAbsorb is the final leftover-absorption pass.
+	PhaseAbsorb = "cluster.absorb"
 )
 
 // Fault-injection sites of the engine (see internal/fault). Each doubles as
@@ -148,10 +161,10 @@ func AgglomerateStatsCtx(ctx context.Context, s *Space, tbl *table.Table, opt Ag
 		return out, stats, nil
 	}
 
-	if ctx != nil && ctx.Err() != nil {
+	if par.Done(ctx) {
 		return nil, stats, ctx.Err()
 	}
-	e := &aggloEngine{s: s, tbl: tbl, opt: opt, ctx: ctx}
+	e := &aggloEngine{s: s, tbl: tbl, opt: opt, ctx: ctx, o: obs.From(ctx)}
 	if err := e.run(); err != nil {
 		e.stats.Workers = stats.Workers
 		return nil, e.stats, err
@@ -209,6 +222,10 @@ type aggloEngine struct {
 	// context makes run return ctx.Err() with no partial output.
 	ctx context.Context
 
+	// o is the run's observability handle, extracted once at entry; nil
+	// (the common case) disables every emission at the cost of one branch.
+	o *obs.Run
+
 	pool *par.Pool
 
 	nodes []*Cluster
@@ -241,7 +258,7 @@ type nnCand struct {
 
 // cancelled reports whether the engine's context is done.
 func (e *aggloEngine) cancelled() bool {
-	return e.ctx != nil && e.ctx.Err() != nil
+	return par.Done(e.ctx)
 }
 
 func (e *aggloEngine) run() error {
@@ -255,6 +272,7 @@ func (e *aggloEngine) run() error {
 	e.spanEvals = make([]int64, w)
 
 	t0 := time.Now()
+	endInit := e.o.Phase(PhaseInit)
 	e.nodes = make([]*Cluster, 0, 2*n)
 	e.alive = make([]bool, 0, 2*n)
 	e.nn1 = make([]int, 0, 2*n)
@@ -274,17 +292,23 @@ func (e *aggloEngine) run() error {
 				break
 			}
 			fault.Inject(SiteInitScan)
-			evals += e.scanNN(i)
+			ev := e.scanNN(i)
+			evals += ev
+			e.o.Event(obs.KindScan, PhaseInit, ev)
 		}
 		e.distEvals.Add(evals)
 	})
 	e.stats.InitNanos = time.Since(t0).Nanoseconds()
+	endInit()
 	if err != nil {
 		return err
 	}
 
+	endMerge := e.o.Phase(PhaseMerge)
+	e.o.Peak("cluster.live_peak", int64(e.nLive))
 	for e.nLive > 1 {
 		if e.cancelled() {
+			endMerge()
 			return e.ctx.Err()
 		}
 		fault.Inject(SiteMerge)
@@ -315,25 +339,44 @@ func (e *aggloEngine) run() error {
 		e.repairNN(a, b, added)
 		e.stats.RepairNanos += time.Since(tRep).Nanoseconds()
 		e.stats.Merges++
+		e.o.Event(obs.KindMerge, PhaseMerge, int64(merged.Size()))
+		e.o.Peak("cluster.live_peak", int64(e.nLive))
 	}
+	endMerge()
 
 	// At most one undersized cluster remains; distribute its records to the
 	// nearest final clusters (Algorithm 1, line 10).
 	tAbs := time.Now()
+	endAbsorb := e.o.Phase(PhaseAbsorb)
+	absorbed := int64(0)
 	for i, ok := range e.alive {
 		if !ok {
 			continue
 		}
 		for _, ri := range e.nodes[i].Members {
 			if e.cancelled() {
+				endAbsorb()
 				return e.ctx.Err()
 			}
 			fault.Inject(SiteAbsorb)
 			e.absorb(ri)
+			absorbed++
 		}
 	}
 	e.stats.AbsorbNanos = time.Since(tAbs).Nanoseconds()
 	e.stats.DistEvals = e.distEvals.Load()
+	endAbsorb()
+	if e.o.Enabled() {
+		e.o.Counter("cluster.dist_evals", e.stats.DistEvals)
+		e.o.Counter("cluster.merges", e.stats.Merges)
+		e.o.Counter("cluster.repair_scans", e.stats.RepairScans)
+		e.o.Counter("cluster.absorbs", absorbed)
+		ps := e.pool.Stats()
+		e.o.Sched("pool.size", int64(e.pool.Size()))
+		e.o.Sched("pool.spans", ps.Spans)
+		e.o.Sched("pool.helper_tasks", ps.HelperTasks)
+		e.o.Sched("pool.inline_tasks", ps.InlineTasks)
+	}
 	if e.cancelled() {
 		return e.ctx.Err()
 	}
@@ -453,12 +496,15 @@ func (e *aggloEngine) scanNN(i int) int64 {
 func (e *aggloEngine) scanNNWide(i int) {
 	m := len(e.nodes)
 	if e.pool.Size() <= 1 || m < 2*wideScanGrain {
-		e.distEvals.Add(e.scanNN(i))
+		ev := e.scanNN(i)
+		e.distEvals.Add(ev)
+		e.o.Event(obs.KindScan, PhaseMerge, ev)
 		return
 	}
 	if !e.alive[i] {
 		e.nn1[i], e.d1[i] = -1, math.Inf(1)
 		e.nn2[i], e.d2[i] = -1, math.Inf(1)
+		e.o.Event(obs.KindScan, PhaseMerge, 0)
 		return
 	}
 	spans := e.pool.ForSpans(m, wideScanGrain, func(lo, hi, w int) {
@@ -488,6 +534,7 @@ func (e *aggloEngine) scanNNWide(i int) {
 	e.nn1[i], e.d1[i] = best.nn1, best.d1
 	e.nn2[i], e.d2[i] = best.nn2, best.d2
 	e.distEvals.Add(evals)
+	e.o.Event(obs.KindScan, PhaseMerge, evals)
 }
 
 // repairNN restores the nearest-neighbour invariant after clusters a and b

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"kanon/internal/cluster"
+	"kanon/internal/par"
 	"kanon/internal/table"
 )
 
@@ -37,10 +38,25 @@ const (
 	SiteGlobalStep = "core.global.step"
 )
 
-// ctxDone reports whether a (possibly nil) context has been cancelled.
-func ctxDone(ctx context.Context) bool {
-	return ctx != nil && ctx.Err() != nil
-}
+// Observability phases of the core pipelines (obs.KindPhaseStart/End).
+const (
+	// PhaseK1 is the per-record (k,1) stage (Algorithms 3 and 4).
+	PhaseK1 = "core.k1"
+	// PhaseMake1K is the Algorithm 5 widening post-pass (plain and diverse).
+	PhaseMake1K = "core.make1k"
+	// PhaseGlobal is the Algorithm 6 matching-and-widening loop.
+	PhaseGlobal = "core.global"
+	// PhaseForest is the forest baseline (Borůvka rounds + tree partition).
+	PhaseForest = "core.forest"
+	// PhaseFullDomain is the full-domain lattice search.
+	PhaseFullDomain = "core.fulldomain"
+	// PhasePartition is the chunking driver of the partitioned pipeline.
+	PhasePartition = "core.partition"
+)
+
+// ctxDone reports whether a (possibly nil) context has been cancelled. It
+// delegates to par.Done, the stack's single nil-context check.
+func ctxDone(ctx context.Context) bool { return par.Done(ctx) }
 
 // KAnonOptions configures the agglomerative k-anonymizers.
 type KAnonOptions struct {

@@ -8,6 +8,7 @@ import (
 
 	"kanon/internal/cluster"
 	"kanon/internal/fault"
+	"kanon/internal/obs"
 	"kanon/internal/table"
 )
 
@@ -88,6 +89,8 @@ func Make1KDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g
 		return nil, fmt.Errorf("core: table has %d distinct sensitive values, %d-diversity unattainable", len(distinctAll), l)
 	}
 
+	o := obs.From(ctx)
+	defer o.Phase(PhaseMake1K)()
 	r := s.NumAttrs()
 	for i := 0; i < n; i++ {
 		if ctxDone(ctx) {
@@ -95,6 +98,7 @@ func Make1KDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g
 		}
 		fault.Inject(SiteMake1KRecord)
 		ri := tbl.Records[i]
+		widened := int64(0)
 		for {
 			consistent := 0
 			values := make(map[int]bool)
@@ -145,6 +149,11 @@ func Make1KDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g
 				h := s.Hiers[a]
 				gj[a] = h.LCA(gj[a], h.LeafOf(ri[a]))
 			}
+			widened++
+		}
+		if widened > 0 {
+			o.Event(obs.KindAugment, PhaseMake1K, widened)
+			o.Counter("core.make1k.deficient", 1)
 		}
 	}
 	return g, nil

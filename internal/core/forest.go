@@ -8,6 +8,7 @@ import (
 
 	"kanon/internal/cluster"
 	"kanon/internal/fault"
+	"kanon/internal/obs"
 	"kanon/internal/table"
 )
 
@@ -43,6 +44,8 @@ func ForestCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int) (
 	if n == 0 {
 		return table.NewGen(tbl.Schema, 0), nil, nil
 	}
+	o := obs.From(ctx)
+	defer o.Phase(PhaseForest)()
 
 	// Phase 1: component growth over the record graph.
 	parent := make([]int, n) // union-find
@@ -84,6 +87,7 @@ func ForestCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int) (
 		for r := range small {
 			bestW[r] = math.Inf(1)
 		}
+		evals := int64(0)
 		for i := 0; i < n; i++ {
 			if ctxDone(ctx) {
 				return nil, nil, ctx.Err()
@@ -99,6 +103,7 @@ func ForestCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int) (
 					continue
 				}
 				w := pairCost(s, tbl, i, j)
+				evals++
 				if iSmall && w < bestW[ri] {
 					bestW[ri] = w
 					bestE[ri] = edge{i, j}
@@ -109,6 +114,9 @@ func ForestCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int) (
 				}
 			}
 		}
+		// One round = one full edge pass.
+		o.Event(obs.KindScan, PhaseForest, evals)
+		o.Counter("core.forest.rounds", 1)
 		// Merge deterministically: process small components in ascending
 		// root order; skip those already merged this round.
 		roots := make([]int, 0, len(small))
@@ -158,6 +166,10 @@ func ForestCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int) (
 		for _, p := range parts {
 			clusters = append(clusters, s.NewCluster(tbl, p))
 		}
+	}
+	if o.Enabled() {
+		o.Counter("core.forest.tree_edges", int64(len(treeEdges)))
+		o.Counter("core.forest.parts", int64(len(clusters)))
 	}
 	g := cluster.ToGenTable(tbl.Schema, n, clusters)
 	return g, clusters, nil

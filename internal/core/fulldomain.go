@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"kanon/internal/cluster"
+	"kanon/internal/obs"
 	"kanon/internal/table"
 )
 
@@ -102,6 +103,8 @@ func FullDomainCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k in
 		return g
 	}
 
+	o := obs.From(ctx)
+	defer o.Phase(PhaseFullDomain)()
 	pq := &levelHeap{}
 	heap.Init(pq)
 	start := make([]int, r)
@@ -115,6 +118,9 @@ func FullDomainCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k in
 			return nil, nil, ctx.Err()
 		}
 		cur := heap.Pop(pq).(levelNode)
+		// Each popped vector costs one O(n) k-anonymity test.
+		o.Event(obs.KindScan, PhaseFullDomain, int64(n))
+		o.Counter("core.fulldomain.vectors", 1)
 		if fullDomainKAnonymous(tbl, ancestorAt, cur.levels, k, groupBuf, groupCounts) {
 			return apply(cur.levels), cur.levels, nil
 		}

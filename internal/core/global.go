@@ -8,6 +8,7 @@ import (
 	"kanon/internal/bipartite"
 	"kanon/internal/cluster"
 	"kanon/internal/fault"
+	"kanon/internal/obs"
 	"kanon/internal/table"
 )
 
@@ -64,6 +65,8 @@ func MakeGlobal1KCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g 
 		}
 	}
 
+	o := obs.From(ctx)
+	defer o.Phase(PhaseGlobal)()
 	r := s.NumAttrs()
 	// cons[i][j] = R_i consistent with R̄_j. Widening R̄_i only adds
 	// consistencies, so the matrix is updated incrementally per column.
@@ -93,6 +96,7 @@ func MakeGlobal1KCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g 
 	if err != nil {
 		return nil, stats, fmt.Errorf("core: consistency graph has no perfect matching: %w", err)
 	}
+	o.Counter("core.global.matchings", 1)
 	stats.InitialMinMatches = math.MaxInt
 	for i := 0; i < n; i++ {
 		if len(allowed[i]) < stats.InitialMinMatches {
@@ -150,14 +154,22 @@ func MakeGlobal1KCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g 
 			}
 			steps++
 			stats.GeneralizationSteps++
+			o.Event(obs.KindAugment, PhaseGlobal, 1)
 			allowed, err = bipartite.AllowedEdges(buildGraph())
 			if err != nil {
 				return nil, stats, fmt.Errorf("core: perfect matching lost after widening (impossible for positional generalizations): %w", err)
 			}
+			o.Counter("core.global.matchings", 1)
 		}
 		if steps > stats.MaxStepsPerRecord {
 			stats.MaxStepsPerRecord = steps
 		}
+	}
+	if o.Enabled() {
+		o.Counter("core.global.deficient", int64(stats.DeficientRecords))
+		o.Counter("core.global.steps", int64(stats.GeneralizationSteps))
+		o.Counter("core.global.min_matches", int64(stats.InitialMinMatches))
+		o.Peak("core.global.max_steps", int64(stats.MaxStepsPerRecord))
 	}
 	return g, stats, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"kanon/internal/cluster"
 	"kanon/internal/fault"
+	"kanon/internal/obs"
 	"kanon/internal/par"
 	"kanon/internal/table"
 )
@@ -37,11 +38,15 @@ func K1NearestCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k, wo
 	if err := checkK1Args(n, k); err != nil {
 		return nil, err
 	}
+	o := obs.From(ctx)
+	defer o.Phase(PhaseK1)()
 	g := table.NewGen(tbl.Schema, n)
 	p := par.New(workers)
 	defer p.Close()
 	err := p.EachCtx(ctx, n, func(i int) {
 		fault.Inject(SiteK1Record)
+		// One neighbourhood scan per record: n−1 pair-cost evaluations.
+		o.Event(obs.KindScan, PhaseK1, int64(n-1))
 		// Find the k−1 smallest pair costs; ties broken by lower index.
 		type cand struct {
 			j int
@@ -99,12 +104,17 @@ func K1ExpandCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k, wor
 	if err := checkK1Args(n, k); err != nil {
 		return nil, err
 	}
+	o := obs.From(ctx)
+	defer o.Phase(PhaseK1)()
 	g := table.NewGen(tbl.Schema, n)
 	r := s.NumAttrs()
 	p := par.New(workers)
 	defer p.Close()
 	err := p.EachCtx(ctx, n, func(i int) {
 		fault.Inject(SiteK1Record)
+		// One greedy-growth scan per record: (k−1) sweeps over the
+		// out-of-cluster records.
+		evals := int64(0)
 		inS := make([]bool, n)
 		inS[i] = true
 		closure := s.LeafClosure(tbl.Records[i])
@@ -126,6 +136,7 @@ func K1ExpandCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k, wor
 				if d := sum / float64(r); d < bestD {
 					bestJ, bestD = j, d
 				}
+				evals++
 			}
 			inS[bestJ] = true
 			for a := 0; a < r; a++ {
@@ -134,6 +145,7 @@ func K1ExpandCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k, wor
 			}
 		}
 		copy(g.Records[i], closure)
+		o.Event(obs.KindScan, PhaseK1, evals)
 	})
 	if err != nil {
 		return nil, err

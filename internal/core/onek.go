@@ -7,6 +7,7 @@ import (
 
 	"kanon/internal/cluster"
 	"kanon/internal/fault"
+	"kanon/internal/obs"
 	"kanon/internal/table"
 )
 
@@ -39,6 +40,8 @@ func Make1KCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g *table
 	if err := checkK1Args(n, k); err != nil {
 		return nil, err
 	}
+	o := obs.From(ctx)
+	defer o.Phase(PhaseMake1K)()
 	r := s.NumAttrs()
 	for i := 0; i < n; i++ {
 		if ctxDone(ctx) {
@@ -89,6 +92,10 @@ func Make1KCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g *table
 				gj[a] = h.LCA(gj[a], h.LeafOf(ri[a]))
 			}
 		}
+		// One augmentation per deficient record; N is the number of
+		// generalized records widened to cover it.
+		o.Event(obs.KindAugment, PhaseMake1K, int64(need))
+		o.Counter("core.make1k.deficient", 1)
 	}
 	return g, nil
 }

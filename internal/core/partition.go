@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"kanon/internal/cluster"
+	"kanon/internal/obs"
 	"kanon/internal/table"
 )
 
@@ -62,17 +63,21 @@ func KAnonymizePartitionedCtx(ctx context.Context, s *cluster.Space, tbl *table.
 		maxChunk = 2 * opt.K
 	}
 
+	o := obs.From(ctx)
+	endSplit := o.Phase(PhasePartition)
 	all := make([]int, n)
 	for i := range all {
 		all[i] = i
 	}
 	chunks := partitionRecords(s, tbl, all, opt.K, maxChunk)
+	endSplit()
 
 	var clusters []*cluster.Cluster
 	for _, chunk := range chunks {
 		if ctxDone(ctx) {
 			return nil, nil, ctx.Err()
 		}
+		o.Event(obs.KindChunk, PhasePartition, int64(len(chunk)))
 		sub := table.New(tbl.Schema)
 		for _, i := range chunk {
 			sub.Records = append(sub.Records, tbl.Records[i])

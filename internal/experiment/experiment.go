@@ -20,6 +20,7 @@ import (
 	"kanon/internal/datagen"
 	"kanon/internal/fault"
 	"kanon/internal/loss"
+	"kanon/internal/obs"
 	"kanon/internal/par"
 	"kanon/internal/table"
 )
@@ -65,6 +66,15 @@ type Config struct {
 	// run — not for runs replayed from Completed — as the persistence half
 	// of checkpointing. Excluded from JSON output.
 	OnRun func(Run) `json:"-"`
+	// Metrics attaches a fresh obs.Metrics aggregator to every run and
+	// stores its snapshot in Run.Obs (normalized under Deterministic, so
+	// checkpointed and uninterrupted suites still serialize identically).
+	Metrics bool
+	// Observer, when non-nil, additionally receives every run's raw event
+	// stream plus one KindCheckpoint event per OnRun persistence call. It
+	// must be safe for concurrent use: runs of a block execute in parallel
+	// and share it. Excluded from JSON output.
+	Observer obs.Recorder `json:"-"`
 }
 
 // DefaultConfig sizes the datasets so the full suite finishes in a few
@@ -103,6 +113,9 @@ type Run struct {
 	// Engine carries the clustering engine's work counters and phase
 	// timings for the agglomerative runs (nil for the other algorithms).
 	Engine *cluster.AggloStats `json:",omitempty"`
+	// Obs carries the run's aggregated observability stats when
+	// Config.Metrics is on (nil otherwise).
+	Obs *obs.RunStats `json:",omitempty"`
 	// Error records why the run produced no result (a recovered panic, an
 	// algorithm error, or a failed verification); the loss fields are zero
 	// and the run is excluded from the block's series. Empty on success.
@@ -242,7 +255,7 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 	type job struct {
 		algorithm string
 		k         int
-		run       func() (*table.GenTable, *cluster.AggloStats, error)
+		run       func(ctx context.Context) (*table.GenTable, *cluster.AggloStats, error)
 		verify    func(g *table.GenTable, k int) bool
 	}
 	var jobs []job
@@ -253,8 +266,8 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 		v := v
 		for _, k := range c.Ks {
 			k := k
-			jobs = append(jobs, job{v.name, k, func() (*table.GenTable, *cluster.AggloStats, error) {
-				g, _, st, err := core.KAnonymizeStatsCtx(c.Ctx, s, ds.Table, core.KAnonOptions{
+			jobs = append(jobs, job{v.name, k, func(ctx context.Context) (*table.GenTable, *cluster.AggloStats, error) {
+				g, _, st, err := core.KAnonymizeStatsCtx(ctx, s, ds.Table, core.KAnonOptions{
 					K: k, Distance: v.dist, Modified: v.modified, Workers: c.Workers,
 				})
 				return g, &st, err
@@ -263,16 +276,16 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 	}
 	for _, k := range c.Ks {
 		k := k
-		jobs = append(jobs, job{"forest", k, func() (*table.GenTable, *cluster.AggloStats, error) {
-			g, _, err := core.ForestCtx(c.Ctx, s, ds.Table, k)
+		jobs = append(jobs, job{"forest", k, func(ctx context.Context) (*table.GenTable, *cluster.AggloStats, error) {
+			g, _, err := core.ForestCtx(ctx, s, ds.Table, k)
 			return g, nil, err
 		}, verifyKAnon})
-		jobs = append(jobs, job{"kk-nearest", k, func() (*table.GenTable, *cluster.AggloStats, error) {
-			g, err := core.KKAnonymizeCtx(c.Ctx, s, ds.Table, k, core.K1ByNearest, c.Workers)
+		jobs = append(jobs, job{"kk-nearest", k, func(ctx context.Context) (*table.GenTable, *cluster.AggloStats, error) {
+			g, err := core.KKAnonymizeCtx(ctx, s, ds.Table, k, core.K1ByNearest, c.Workers)
 			return g, nil, err
 		}, verifyKK})
-		jobs = append(jobs, job{"kk-expand", k, func() (*table.GenTable, *cluster.AggloStats, error) {
-			g, err := core.KKAnonymizeCtx(c.Ctx, s, ds.Table, k, core.K1ByExpansion, c.Workers)
+		jobs = append(jobs, job{"kk-expand", k, func(ctx context.Context) (*table.GenTable, *cluster.AggloStats, error) {
+			g, err := core.KKAnonymizeCtx(ctx, s, ds.Table, k, core.K1ByExpansion, c.Workers)
 			return g, nil, err
 		}, verifyKK})
 	}
@@ -280,6 +293,10 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 	blockStart := time.Now()
 	results := make([]Run, len(jobs))
 	var onRunMu sync.Mutex
+	var checkpointed int64
+	// drv stamps the driver's own events (checkpoint writes) for an
+	// external observer; per-run engine events flow through runCtx below.
+	drv := obs.NewRun(c.Observer)
 	p := par.New(c.Workers)
 	defer p.Close()
 	eachErr := p.EachCtx(c.Ctx, len(jobs), func(ji int) {
@@ -290,8 +307,20 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 			c.logf("skip %-8s %-2s %-16s k=%-3d (checkpointed)", dataset, m, j.algorithm, j.k)
 			return
 		}
+		var met *obs.Metrics
+		rec := c.Observer
+		if c.Metrics {
+			met = obs.NewMetrics()
+			rec = obs.Tee(met, c.Observer)
+		}
+		runCtx := c.Ctx
+		if rec != nil {
+			runCtx = obs.With(c.Ctx, rec)
+		}
 		start := time.Now()
-		g, engine, err := runRecovered(j.run)
+		g, engine, err := runRecovered(func() (*table.GenTable, *cluster.AggloStats, error) {
+			return j.run(runCtx)
+		})
 		switch {
 		case err != nil && ctxDone(c.Ctx):
 			// The suite itself is being cancelled; EachCtx surfaces
@@ -311,12 +340,22 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 			}
 		}
 		r.Millis = time.Since(start).Milliseconds()
+		if met != nil && r.Error == "" {
+			st := met.Snapshot()
+			st.Notion = j.algorithm
+			st.Workers = par.Workers(c.Workers)
+			st.Records = ds.Table.Len()
+			r.Obs = &st
+		}
 		if c.Deterministic {
 			r.Millis = 0
 			if r.Engine != nil {
 				e := *r.Engine
 				e.InitNanos, e.SelectNanos, e.RepairNanos, e.AbsorbNanos = 0, 0, 0, 0
 				r.Engine = &e
+			}
+			if r.Obs != nil {
+				r.Obs.Normalize()
 			}
 		}
 		results[ji] = r
@@ -328,6 +367,8 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 		if c.OnRun != nil {
 			onRunMu.Lock()
 			c.OnRun(r)
+			checkpointed++
+			drv.Event(obs.KindCheckpoint, "experiment", checkpointed)
 			onRunMu.Unlock()
 		}
 	})
@@ -366,10 +407,9 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 	return b, nil
 }
 
-// ctxDone reports whether a (possibly nil) context has been cancelled.
-func ctxDone(ctx context.Context) bool {
-	return ctx != nil && ctx.Err() != nil
-}
+// ctxDone reports whether a (possibly nil) context has been cancelled. It
+// delegates to par.Done, the stack's single nil-context check.
+func ctxDone(ctx context.Context) bool { return par.Done(ctx) }
 
 // runRecovered invokes one run, converting a panic — including panics
 // raised inside the run's own pool helpers, which arrive as *par.TaskPanic

@@ -1,0 +1,276 @@
+// Package obs is the zero-dependency observability layer of the
+// anonymization stack. Every pipeline — the agglomerative engines
+// (internal/cluster), the (k,1)/(k,k)/global/forest/full-domain/partitioned
+// pipelines (internal/core) and the experiment driver
+// (internal/experiment) — emits structured run events (phase boundaries,
+// merges, nearest-neighbour scan spans, matching augmentations, partition
+// chunks, checkpoint writes) through a Recorder.
+//
+// The layer has three parts:
+//
+//   - the event model: Event values carrying a Kind, the owning phase, a
+//     count payload and a monotonic timestamp, delivered to a
+//     caller-supplied Recorder;
+//   - the Metrics aggregator (metrics.go): a concurrency-safe Recorder
+//     folding the event stream into per-phase wall time, counter totals and
+//     peak gauges, rendered as JSON or an expvar variable;
+//   - profiling hooks (profile.go): optional CPU/heap profile and
+//     runtime/trace capture bracketing a run, plus a TraceRecorder that
+//     opens a runtime/trace region per phase.
+//
+// # Threading and the disabled path
+//
+// Observability is carried through context.Context: With(ctx, recorder)
+// arms a run, and the pipelines call From(ctx) once at entry to obtain the
+// run handle. A nil *Run is the disabled state — every method on it is a
+// nil-check no-op that performs zero allocations and never reads the clock,
+// so uninstrumented runs cost nothing measurable (see the overhead guard in
+// the cluster benchmarks).
+//
+// # Recorder contract
+//
+// Events may be emitted concurrently from pool workers, so a Recorder must
+// be safe for concurrent use. Event ordering is deterministic only for
+// single-worker runs; counter totals (the sums and occurrence counts of
+// KindMerge/KindScan/KindAugment/KindChunk/KindCounter events) are
+// identical at every worker count, because the engines shard work without
+// changing it. Scheduler gauges (KindSched) are the one exception: they
+// describe the pool's dynamic behaviour and legitimately vary between runs.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Kind classifies a run event.
+type Kind uint8
+
+// The event taxonomy (DESIGN.md §10).
+const (
+	// KindPhaseStart and KindPhaseEnd bracket a named pipeline phase on the
+	// driving goroutine.
+	KindPhaseStart Kind = iota
+	KindPhaseEnd
+	// KindMerge is one cluster merge of an agglomerative engine; N is the
+	// merged cluster's size.
+	KindMerge
+	// KindScan is one nearest-neighbour (or candidate) scan; N is the
+	// number of distance evaluations the scan spent.
+	KindScan
+	// KindAugment is one widening / matching-augmentation step of the
+	// Algorithm 5/6 post-passes; N is the number of records the step
+	// covered (usually 1).
+	KindAugment
+	// KindChunk is one partition chunk handed to a sub-engine; N is the
+	// chunk's record count.
+	KindChunk
+	// KindCheckpoint is one checkpoint write of the experiment driver; N is
+	// the number of runs persisted so far.
+	KindCheckpoint
+	// KindCounter is a named counter contribution; Name carries the counter
+	// and N the amount to add.
+	KindCounter
+	// KindPeak is a named gauge observation aggregated by maximum.
+	KindPeak
+	// KindSched is a named scheduler gauge (pool occupancy, span and task
+	// counts); excluded from the worker-count-invariant counter totals.
+	KindSched
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPhaseStart:
+		return "phase-start"
+	case KindPhaseEnd:
+		return "phase-end"
+	case KindMerge:
+		return "merge"
+	case KindScan:
+		return "scan"
+	case KindAugment:
+		return "augment"
+	case KindChunk:
+		return "chunk"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindCounter:
+		return "counter"
+	case KindPeak:
+		return "peak"
+	case KindSched:
+		return "sched"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one structured run event. Events are plain values: recording one
+// never allocates on the emitting side.
+type Event struct {
+	// Kind classifies the event.
+	Kind Kind
+	// Phase is the owning pipeline phase (e.g. "cluster.merge"); for
+	// KindPhaseStart/KindPhaseEnd it is the phase itself.
+	Phase string
+	// Name is the counter/gauge name for KindCounter, KindPeak and
+	// KindSched; empty otherwise.
+	Name string
+	// N is the event's count payload (records, distance evaluations,
+	// counter increments, gauge values).
+	N int64
+	// T is the event's monotonic offset since the run started.
+	T time.Duration
+}
+
+// Recorder receives the event stream of a run. Implementations must be safe
+// for concurrent use: engines emit events from pool workers.
+type Recorder interface {
+	Record(Event)
+}
+
+// Nop is the default recorder; it drops every event.
+type Nop struct{}
+
+// Record implements Recorder.
+func (Nop) Record(Event) {}
+
+// tee fans one event out to several recorders.
+type tee []Recorder
+
+// Record implements Recorder.
+func (t tee) Record(e Event) {
+	for _, r := range t {
+		r.Record(e)
+	}
+}
+
+// Tee returns a Recorder forwarding every event to all of rs, skipping nil
+// entries. With zero non-nil recorders it returns nil (disabled).
+func Tee(rs ...Recorder) Recorder {
+	var out tee
+	for _, r := range rs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	default:
+		return out
+	}
+}
+
+// Run stamps events with monotonic offsets and forwards them to a recorder.
+// A nil *Run is valid and is the disabled path: every method is a no-op
+// costing one branch, no allocation and no clock read.
+type Run struct {
+	rec   Recorder
+	start time.Time
+}
+
+// NewRun arms a run over rec, starting its monotonic clock now. A nil rec
+// yields a nil (disabled) run.
+func NewRun(rec Recorder) *Run {
+	if rec == nil {
+		return nil
+	}
+	return &Run{rec: rec, start: time.Now()}
+}
+
+// Enabled reports whether events are being recorded.
+func (r *Run) Enabled() bool { return r != nil }
+
+// Event emits one event of the given kind under a phase.
+func (r *Run) Event(kind Kind, phase string, n int64) {
+	if r == nil {
+		return
+	}
+	r.rec.Record(Event{Kind: kind, Phase: phase, N: n, T: time.Since(r.start)})
+}
+
+// Counter adds n to the named counter.
+func (r *Run) Counter(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.rec.Record(Event{Kind: KindCounter, Name: name, N: n, T: time.Since(r.start)})
+}
+
+// Peak observes the named max-aggregated gauge.
+func (r *Run) Peak(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.rec.Record(Event{Kind: KindPeak, Name: name, N: n, T: time.Since(r.start)})
+}
+
+// Sched records a scheduler gauge (pool occupancy, span/task counts). Sched
+// values are not part of the worker-count-invariant totals.
+func (r *Run) Sched(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.rec.Record(Event{Kind: KindSched, Name: name, N: n, T: time.Since(r.start)})
+}
+
+// nopEnd is returned by Phase on the disabled path so callers can
+// unconditionally defer the end function without allocating.
+var nopEnd = func() {}
+
+// Phase emits a KindPhaseStart event and returns the function emitting the
+// matching KindPhaseEnd. Start and end run on the same (driving) goroutine:
+//
+//	defer r.Phase("cluster.init")()
+func (r *Run) Phase(name string) func() {
+	if r == nil {
+		return nopEnd
+	}
+	r.rec.Record(Event{Kind: KindPhaseStart, Phase: name, T: time.Since(r.start)})
+	return func() {
+		r.rec.Record(Event{Kind: KindPhaseEnd, Phase: name, T: time.Since(r.start)})
+	}
+}
+
+// runKey carries the *Run through a context.
+type runKey struct{}
+
+// With arms observability on a context: events emitted by pipelines running
+// under the returned context reach rec. A nil ctx is treated as
+// context.Background(); a nil rec returns ctx unchanged (disabled).
+func With(ctx context.Context, rec Recorder) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, runKey{}, NewRun(rec))
+}
+
+// WithRun is With for an existing run handle, letting several pipeline
+// invocations share one monotonic clock.
+func WithRun(ctx context.Context, run *Run) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if run == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, runKey{}, run)
+}
+
+// From extracts the run handle from a context; nil (disabled) when the
+// context is nil or carries none. Pipelines call this once at entry, never
+// in hot loops.
+func From(ctx context.Context) *Run {
+	if ctx == nil {
+		return nil
+	}
+	run, _ := ctx.Value(runKey{}).(*Run)
+	return run
+}

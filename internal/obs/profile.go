@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"sync"
+)
+
+// ProfileOptions selects which profiles to capture around a run. Empty
+// paths disable the corresponding capture.
+type ProfileOptions struct {
+	// CPUPath receives a pprof CPU profile covering Start…Stop.
+	CPUPath string
+	// HeapPath receives a pprof heap profile written at Stop (after a GC,
+	// so it reflects live memory).
+	HeapPath string
+	// TracePath receives a runtime/trace capture covering Start…Stop; pair
+	// it with a TraceRecorder to see per-phase regions in `go tool trace`.
+	TracePath string
+}
+
+// ProfileDir is the conventional layout: cpu.pprof, heap.pprof and
+// trace.out inside dir.
+func ProfileDir(dir string) ProfileOptions {
+	return ProfileOptions{
+		CPUPath:   filepath.Join(dir, "cpu.pprof"),
+		HeapPath:  filepath.Join(dir, "heap.pprof"),
+		TracePath: filepath.Join(dir, "trace.out"),
+	}
+}
+
+// Profile is an in-flight profiling capture bracketing a run.
+type Profile struct {
+	opt    ProfileOptions
+	cpuF   *os.File
+	traceF *os.File
+}
+
+// StartProfile begins the captures requested by opt. On error nothing is
+// left running and partially created files are closed (not removed). The
+// caller must call Stop exactly once.
+func StartProfile(opt ProfileOptions) (*Profile, error) {
+	p := &Profile{opt: opt}
+	if opt.CPUPath != "" {
+		f, err := os.Create(opt.CPUPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuF = f
+	}
+	if opt.TracePath != "" {
+		f, err := os.Create(opt.TracePath)
+		if err != nil {
+			p.stopStarted()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.stopStarted()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		p.traceF = f
+	}
+	return p, nil
+}
+
+// stopStarted unwinds captures already running when a later Start step
+// failed.
+func (p *Profile) stopStarted() {
+	if p.cpuF != nil {
+		pprof.StopCPUProfile()
+		p.cpuF.Close()
+		p.cpuF = nil
+	}
+}
+
+// Stop ends the captures and writes the heap profile, returning the first
+// error encountered.
+func (p *Profile) Stop() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if p.traceF != nil {
+		trace.Stop()
+		keep(p.traceF.Close())
+		p.traceF = nil
+	}
+	if p.cpuF != nil {
+		pprof.StopCPUProfile()
+		keep(p.cpuF.Close())
+		p.cpuF = nil
+	}
+	if p.opt.HeapPath != "" {
+		f, err := os.Create(p.opt.HeapPath)
+		if err != nil {
+			keep(fmt.Errorf("obs: heap profile: %w", err))
+		} else {
+			runtime.GC() // materialize live-heap accounting
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	return first
+}
+
+// TraceRecorder is a Recorder that opens a runtime/trace region per phase,
+// making pipeline phases visible in `go tool trace` timelines. Only phase
+// events are acted on; everything else is ignored (use Tee to combine with
+// a Metrics). Phase start and end arrive on the same driving goroutine per
+// the Run.Phase contract, satisfying the trace-region requirement.
+type TraceRecorder struct {
+	mu      sync.Mutex
+	regions map[string][]*trace.Region
+}
+
+// NewTraceRecorder returns an empty TraceRecorder.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{regions: make(map[string][]*trace.Region)}
+}
+
+// Record implements Recorder.
+func (t *TraceRecorder) Record(e Event) {
+	switch e.Kind {
+	case KindPhaseStart:
+		r := trace.StartRegion(context.Background(), "kanon:"+e.Phase)
+		t.mu.Lock()
+		t.regions[e.Phase] = append(t.regions[e.Phase], r)
+		t.mu.Unlock()
+	case KindPhaseEnd:
+		t.mu.Lock()
+		stack := t.regions[e.Phase]
+		var r *trace.Region
+		if n := len(stack); n > 0 {
+			r = stack[n-1]
+			t.regions[e.Phase] = stack[:n-1]
+		}
+		t.mu.Unlock()
+		if r != nil {
+			r.End()
+		}
+	}
+}

@@ -66,12 +66,30 @@ func Workers(requested int) int {
 	return runtime.NumCPU()
 }
 
+// PoolStats is a snapshot of a pool's scheduling counters. The split
+// between helper and inline execution depends on timing, so these are
+// observability gauges (obs.KindSched), not deterministic totals.
+type PoolStats struct {
+	// Spans counts spans handed out by For/ForSpans (including the single
+	// span of sequential fallbacks).
+	Spans int64
+	// HelperTasks counts tasks that ran on a helper goroutine.
+	HelperTasks int64
+	// InlineTasks counts tasks that ran on the submitting goroutine —
+	// its own span plus any overflow when no helper was free.
+	InlineTasks int64
+}
+
 // Pool is a bounded worker pool. The zero value is not usable; call New.
 // A Pool is intended to be driven from one goroutine at a time (the engines
 // each own one); the helper goroutines themselves are of course concurrent.
 type Pool struct {
 	workers int
 	tasks   chan func()
+
+	spans       atomic.Int64
+	helperTasks atomic.Int64
+	inlineTasks atomic.Int64
 }
 
 // New builds a pool of Workers(workers) workers. A pool with more than one
@@ -99,6 +117,15 @@ func New(workers int) *Pool {
 
 // Size returns the worker count.
 func (p *Pool) Size() int { return p.workers }
+
+// Stats returns a snapshot of the pool's scheduling counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Spans:       p.spans.Load(),
+		HelperTasks: p.helperTasks.Load(),
+		InlineTasks: p.inlineTasks.Load(),
+	}
+}
 
 // Close releases the helper goroutines. The pool must not be used after.
 func (p *Pool) Close() {
@@ -139,10 +166,16 @@ func (b *panicBox) rethrow() {
 	}
 }
 
-// done reports whether the context is non-nil and already cancelled.
-func done(ctx context.Context) bool {
+// Done reports whether the context is non-nil and already cancelled. It is
+// the one nil-context check shared by every *Ctx variant in the stack
+// (cluster, core, experiment): a nil context never reports done, which is
+// what lets the facade document nil-ctx handling in a single place.
+func Done(ctx context.Context) bool {
 	return ctx != nil && ctx.Err() != nil
 }
+
+// done is the package-internal alias kept for call-site brevity.
+func done(ctx context.Context) bool { return Done(ctx) }
 
 // ForSpans splits [0, n) into at most Size() contiguous spans of at least
 // grain indices each and runs fn(lo, hi, span) for every span concurrently,
@@ -178,12 +211,15 @@ func (p *Pool) forSpans(ctx context.Context, n, grain int, fn func(lo, hi, span 
 		spans = most
 	}
 	if spans <= 1 || p.tasks == nil {
+		p.spans.Add(1)
+		p.inlineTasks.Add(1)
 		fn(0, n, 0)
 		if ctx != nil {
 			return 1, ctx.Err()
 		}
 		return 1, nil
 	}
+	p.spans.Add(int64(spans))
 	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(spans - 1)
@@ -198,10 +234,13 @@ func (p *Pool) forSpans(ctx context.Context, n, grain int, fn func(lo, hi, span 
 		}
 		select {
 		case p.tasks <- task:
+			p.helperTasks.Add(1)
 		default:
+			p.inlineTasks.Add(1)
 			task() // no helper free: run inline rather than block
 		}
 	}
+	p.inlineTasks.Add(1)
 	if !box.tripped() && !done(ctx) {
 		box.run(func() { fn(0, n/spans, 0) })
 	}
@@ -299,10 +338,13 @@ func (p *Pool) each(ctx context.Context, n int, fn func(i int)) error {
 		}
 		select {
 		case p.tasks <- task:
+			p.helperTasks.Add(1)
 		default:
+			p.inlineTasks.Add(1)
 			task()
 		}
 	}
+	p.inlineTasks.Add(1)
 	loop()
 	wg.Wait()
 	box.rethrow()

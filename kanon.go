@@ -36,6 +36,8 @@ import (
 	"kanon/internal/dataio"
 	"kanon/internal/hierarchy"
 	"kanon/internal/loss"
+	"kanon/internal/obs"
+	"kanon/internal/par"
 	"kanon/internal/risk"
 	"kanon/internal/table"
 )
@@ -271,6 +273,13 @@ type Options struct {
 	// the sequential paths, 0 (the default) sizes the pools to the machine.
 	// The output is identical at any worker count.
 	Workers int
+	// Observer, when non-nil, receives the run's structured event stream
+	// (phase boundaries, merges, scans, augmentations, chunks — see the
+	// Event* constants). It must be safe for concurrent use: the parallel
+	// engines emit events from their pool workers. Independently of any
+	// Observer, every run's aggregated metrics are available from
+	// Result.Stats().
+	Observer Observer
 }
 
 // Result is an anonymized table plus the context needed to inspect it.
@@ -280,24 +289,45 @@ type Result struct {
 	space   *cluster.Space
 	measure loss.Measure
 	opt     Options
+	stats   RunStats
 	// UpgradeStats is populated for NotionGlobal1K with the Algorithm 6
 	// work summary.
+	//
+	// Deprecated: use Stats(), the unified statistics surface — its
+	// "core.global.*" counters carry the same information for every notion.
+	// The field remains populated for one release.
 	UpgradeStats core.Global1KStats
 }
 
+// Stats returns the run's unified observability statistics: per-phase wall
+// times, counter totals (merges, distance evaluations, scans, widening
+// steps, chunks, …), peak gauges and scheduler gauges. Counter totals and
+// peaks are identical at every worker count for the same input; wall times
+// and the Sched gauges are the timing-dependent remainder.
+func (r *Result) Stats() RunStats { return r.stats }
+
 // Anonymize generalizes the table until it satisfies the requested notion,
-// minimizing the requested information-loss measure heuristically.
+// minimizing the requested information-loss measure heuristically. It is
+// AnonymizeContext under context.Background().
 func Anonymize(t *Table, opt Options) (*Result, error) {
-	return AnonymizeContext(nil, t, opt)
+	return AnonymizeContext(context.Background(), t, opt)
 }
 
 // AnonymizeContext is Anonymize under a context: every pipeline checks for
 // cancellation at its scan/merge boundaries, and once ctx is done the call
-// returns ctx.Err() promptly with no partial output. A nil ctx disables
-// cancellation (identical to Anonymize).
+// returns ctx.Err() promptly with no partial output.
+//
+// Nil-context handling is defined here, once, for the whole stack: a nil
+// ctx is treated as context.Background(), i.e. cancellation disabled. The
+// internal *Ctx variants share that convention through a single check
+// (internal/par.Done), so passing nil to any layer is always equivalent to
+// passing a context that is never done.
 func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, error) {
-	if opt.K < 1 {
-		return nil, fmt.Errorf("kanon: Options.K must be ≥ 1, got %d", opt.K)
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if opt.Notion == "" {
 		opt.Notion = NotionKK
@@ -306,7 +336,7 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 		opt.Measure = MeasureEntropy
 	}
 	if opt.Diversity >= 2 && t.sensitive == nil {
-		return nil, fmt.Errorf("kanon: Options.Diversity requires a table with a sensitive attribute")
+		return nil, optErr("Diversity", opt.Diversity, "requires a table with a sensitive attribute")
 	}
 	m, err := buildMeasure(t, opt.Measure)
 	if err != nil {
@@ -317,17 +347,15 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 		return nil, err
 	}
 
+	// Every run aggregates its own metrics (for Result.Stats()); a
+	// user-supplied Observer additionally sees the raw event stream.
+	met := obs.NewMetrics()
+	ctx = obs.WithRun(ctx, obs.NewRun(obs.Tee(met, opt.Observer)))
+
 	res := &Result{table: t, space: s, measure: m, opt: opt}
 	switch opt.Notion {
 	case NotionK:
-		if opt.Forest && opt.FullDomain {
-			return nil, fmt.Errorf("kanon: Forest and FullDomain are mutually exclusive")
-		}
 		if opt.Forest || opt.FullDomain {
-			if opt.Diversity >= 2 {
-				return nil, fmt.Errorf("kanon: Diversity is not supported with the %s baseline",
-					map[bool]string{true: "forest", false: "full-domain"}[opt.Forest])
-			}
 			var g *table.GenTable
 			if opt.Forest {
 				g, _, err = core.ForestCtx(ctx, s, t.tbl, opt.K)
@@ -338,21 +366,16 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 				return nil, err
 			}
 			res.gen = g
-			return res, nil
+			break
 		}
 		distName := opt.Distance
 		if distName == "" {
 			distName = "d3"
 		}
 		dist := cluster.DistanceByName(distName)
-		if dist == nil {
-			return nil, fmt.Errorf("kanon: unknown distance %q", opt.Distance)
-		}
 		kopt := core.KAnonOptions{K: opt.K, Distance: dist, Modified: opt.Modified, Workers: opt.Workers}
 		var g *table.GenTable
 		switch {
-		case opt.Diversity >= 2 && opt.MaxChunk > 0:
-			return nil, fmt.Errorf("kanon: Diversity and MaxChunk cannot be combined")
 		case opt.Diversity >= 2:
 			g, _, err = core.KAnonymizeDiverseCtx(ctx, s, t.tbl, kopt, opt.Diversity, t.sensitive)
 		case opt.MaxChunk > 0:
@@ -397,9 +420,11 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 		}
 		res.gen = g
 		res.UpgradeStats = stats
-	default:
-		return nil, fmt.Errorf("kanon: unknown notion %q", opt.Notion)
 	}
+	res.stats = met.Snapshot()
+	res.stats.Notion = string(opt.Notion)
+	res.stats.Workers = par.Workers(opt.Workers)
+	res.stats.Records = t.Len()
 	return res, nil
 }
 
