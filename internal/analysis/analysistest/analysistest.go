@@ -1,0 +1,171 @@
+// Package analysistest is the golden-test harness for kanonlint
+// analyzers, modeled on golang.org/x/tools/go/analysis/analysistest:
+// a testdata directory holds a small package whose lines carry
+// `// want "substring"` comments naming the diagnostics the analyzer
+// must produce there. The harness loads the directory with real types
+// (imports resolve through compiler export data, so testdata may import
+// kanon/internal/... packages), runs the analyzer through the same
+// suppression-aware driver as production, and fails on any mismatch in
+// either direction.
+//
+// Because several analyzers gate on import paths, Run takes the package
+// path to load the directory under — golden cases for the determinism
+// analyzer load as "kanon/internal/cluster", exercising the real gate.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kanon/internal/analysis"
+)
+
+// Run loads dir as a package named importPath, applies the analyzer and
+// compares unsuppressed diagnostics against the `// want` comments.
+func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	moduleDir, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.LoadDir(abs, moduleDir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make(map[*want]bool)
+	for _, d := range analysis.Unsuppressed(diags) {
+		w := findWant(wants, matched, d)
+		if w == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		matched[w] = true
+	}
+	for i := range wants {
+		if !matched[&wants[i]] {
+			w := &wants[i]
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// want is one expected diagnostic: file, line and a substring of the
+// message.
+type want struct {
+	file   string
+	line   int
+	substr string
+}
+
+// collectWants scans every .go file in dir for `// want "..." ["..."]`
+// comments.
+func collectWants(dir string) ([]want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, spec, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			subs, err := parseWantSpec(spec)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, i+1, err)
+			}
+			for _, s := range subs {
+				wants = append(wants, want{file: path, line: i + 1, substr: s})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWantSpec splits `"a" "b"` into unquoted substrings.
+func parseWantSpec(spec string) ([]string, error) {
+	var out []string
+	rest := strings.TrimSpace(spec)
+	for rest != "" {
+		if rest[0] != '"' {
+			return nil, fmt.Errorf("want spec must be quoted strings, got %q", rest)
+		}
+		end := 1
+		for end < len(rest) && rest[end] != '"' {
+			if rest[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(rest) {
+			return nil, fmt.Errorf("unterminated want string in %q", rest)
+		}
+		s, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want spec")
+	}
+	return out, nil
+}
+
+// findWant returns the first unconsumed want matching the diagnostic, so
+// a duplicated diagnostic cannot hide behind a single want comment.
+func findWant(wants []want, matched map[*want]bool, d analysis.Diagnostic) *want {
+	for i := range wants {
+		w := &wants[i]
+		if !matched[w] && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+			return w
+		}
+	}
+	return nil
+}
+
+// ModuleRoot walks up from the working directory to the enclosing
+// go.mod; tests anywhere in the repository use it to anchor Load calls.
+func ModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

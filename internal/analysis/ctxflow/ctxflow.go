@@ -1,0 +1,124 @@
+// Package ctxflow implements the kanonlint analyzer guarding the
+// cancellation contract of DESIGN.md §9: contexts flow down from the
+// facade, nil-context handling is defined exactly once (in
+// kanon.AnonymizeContext, via par.Done), and no library layer may mint
+// its own root context or silently drop one it was handed.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kanon/internal/analysis"
+)
+
+// FacadePath is the facade package; LibraryRoot covers every internal
+// layer. Both are library layers for this analyzer; the cmd/ and
+// examples/ binaries are process entry points and may mint root contexts
+// freely.
+const (
+	FacadePath  = "kanon"
+	LibraryRoot = "kanon/internal"
+)
+
+// libraryLayer reports whether pkgPath is the facade or an internal
+// package. Note the facade match is exact: "kanon/examples/..." and
+// "kanon/cmd/..." are not library layers.
+func libraryLayer(pkgPath string) bool {
+	return pkgPath == FacadePath || analysis.PathWithin(pkgPath, LibraryRoot)
+}
+
+// Analyzer flags context.Background()/context.TODO() in library layers
+// and exported functions that accept a context but drop it.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background/TODO in library layers (nil-ctx is " +
+		"defined once, in AnonymizeContext) and flag exported entry points " +
+		"that accept a ctx but never use it",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !libraryLayer(pass.Pkg.PkgPath) {
+		return nil
+	}
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if analysis.IsPkgFunc(fn, "context", "Background") || analysis.IsPkgFunc(fn, "context", "TODO") {
+				pass.Reportf(call.Pos(), "context.%s in library layer %s: accept a ctx from the caller (nil-ctx handling is defined once, in AnonymizeContext)", fn.Name(), pass.Pkg.PkgPath)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkDroppedCtx(pass, info, fd)
+		}
+	}
+	return nil
+}
+
+// checkDroppedCtx flags context.Context parameters of exported functions
+// that the body never reads: a pipeline entry point that accepts a ctx
+// and drops it silently disables cancellation for every caller.
+func checkDroppedCtx(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(info, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(), "exported %s discards its context parameter: thread it through or drop it from the signature", fd.Name.Name)
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !identUsed(info, fd.Body, obj) {
+				pass.Reportf(name.Pos(), "exported %s accepts ctx but never uses it: cancellation is silently disabled for callers", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// isContextType reports whether the parameter type is context.Context.
+func isContextType(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// identUsed reports whether any identifier in body resolves to obj.
+func identUsed(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

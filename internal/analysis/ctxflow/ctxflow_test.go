@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"kanon/internal/analysis/analysistest"
+	"kanon/internal/analysis/ctxflow"
+)
+
+// TestCtxFlowFindings pins the failing cases: minted roots and dropped
+// contexts in a library layer, plus the //kanon:allow suppression form.
+func TestCtxFlowFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/cf", "kanon/internal/core", ctxflow.Analyzer)
+}
+
+// TestCtxFlowEntryPointsExempt pins that cmd/ packages may mint roots.
+func TestCtxFlowEntryPointsExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/entry", "kanon/cmd/kanon", ctxflow.Analyzer)
+}

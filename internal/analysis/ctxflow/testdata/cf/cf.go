@@ -1,0 +1,38 @@
+// Golden cases for the ctxflow analyzer, loaded under the library-layer
+// import path kanon/internal/core.
+package cf
+
+import "context"
+
+// mintRoot mints a root context inside a library layer.
+func mintRoot() context.Context {
+	return context.Background() // want "context.Background in library layer"
+}
+
+// mintTodo does the same with TODO.
+func mintTodo() context.Context {
+	return context.TODO() // want "context.TODO in library layer"
+}
+
+// Allowed shows the suppression form for a reviewed root.
+func Allowed() context.Context {
+	return context.Background() //kanon:allow ctxflow -- reviewed: detached maintenance task owns its lifetime
+}
+
+// DropsCtx accepts a context and never reads it.
+func DropsCtx(ctx context.Context, n int) int { // want "accepts ctx but never uses it"
+	return n * 2
+}
+
+// Discards declares the parameter away entirely.
+func Discards(_ context.Context, n int) int { // want "discards its context parameter"
+	return n + 1
+}
+
+// Threads is the sanctioned shape: the ctx flows onward.
+func Threads(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// unexported entry points are not held to the exported-surface rule.
+func quiet(ctx context.Context) int { return 0 }

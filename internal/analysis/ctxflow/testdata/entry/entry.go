@@ -1,0 +1,12 @@
+// Golden gate case: loaded as kanon/cmd/kanon — a process entry point,
+// where minting root contexts is the norm. Nothing here may be flagged.
+package entry
+
+import (
+	"context"
+	"time"
+)
+
+func root() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), time.Second)
+}

@@ -1,0 +1,21 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"kanon/internal/analysis/analysistest"
+	"kanon/internal/analysis/determinism"
+)
+
+// TestDeterminismFindings pins the failing cases: wall clock, shared
+// rand source and map iteration inside a deterministic package, plus the
+// //kanon:allow suppression form.
+func TestDeterminismFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/det", "kanon/internal/cluster", determinism.Analyzer)
+}
+
+// TestDeterminismGate pins that the analyzer keeps quiet outside the
+// deterministic package set.
+func TestDeterminismGate(t *testing.T) {
+	analysistest.Run(t, "testdata/ungated", "kanon/internal/experiment", determinism.Analyzer)
+}

@@ -1,0 +1,56 @@
+// Golden cases for the determinism analyzer, loaded under the gated
+// import path kanon/internal/cluster.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock leaks the wall clock into a value a deterministic engine
+// could return.
+func wallClock() int64 {
+	t := time.Now() // want "time.Now in deterministic package"
+	return t.UnixNano()
+}
+
+// allowedClock shows the suppression form for observability-only timing.
+func allowedClock() time.Time {
+	return time.Now() //kanon:allow determinism -- wall time feeds observability stats only
+}
+
+// sharedSource draws from the process-global generator.
+func sharedSource(n int) int {
+	return rand.Intn(n) // want "shared global source"
+}
+
+// seeded threads an explicit source: the sanctioned pattern.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// mapOrder lets map iteration order reach an ordered output slice.
+func mapOrder(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "map iteration order"
+		out = append(out, v)
+	}
+	return out
+}
+
+// sortedKeys shows the annotated safe pattern: the fold only collects
+// keys, and the sort below restores a canonical order.
+func sortedKeys(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m { //kanon:allow determinism -- key collection; sorted below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}

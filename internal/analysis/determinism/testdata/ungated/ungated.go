@@ -1,0 +1,20 @@
+// Golden gate case: loaded as kanon/internal/experiment, which is NOT a
+// deterministic package, so nothing here may be flagged.
+package ungated
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timing() int64 { return time.Now().UnixMilli() }
+
+func jitter(n int) int { return rand.Intn(n) }
+
+func anyOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directiveAnalyzerName is the pseudo-analyzer under which malformed
+// //kanon:allow directives are reported. It is not suppressible.
+const directiveAnalyzerName = "directive"
+
+// allowPrefix introduces a suppression directive. The full grammar is
+//
+//	//kanon:allow name[,name...] -- reason
+//
+// and the directive covers findings of the named analyzers on its own
+// line and on the line directly below (so it can sit above a flagged
+// statement or trail it on the same line).
+const allowPrefix = "kanon:allow"
+
+// Directive is one parsed //kanon:allow comment.
+type Directive struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+}
+
+// directiveIndex resolves (file, line, analyzer) → reason.
+type directiveIndex struct {
+	// byFileLine maps filename → line → analyzer → reason.
+	byFileLine map[string]map[int]map[string]string
+	// all keeps every well-formed directive, for kanonlint -allows.
+	all []Directive
+}
+
+func newDirectiveIndex() *directiveIndex {
+	return &directiveIndex{byFileLine: make(map[string]map[int]map[string]string)}
+}
+
+// parseAllow splits a comment's text into analyzer names and reason;
+// ok is false when the comment is not an allow directive at all.
+// Malformed directives return ok true with problem non-empty.
+func parseAllow(text string) (names []string, reason string, problem string, ok bool) {
+	// ast.Comment.Text includes the "//"; directives must use the
+	// no-space form exactly like //go:build.
+	body, found := strings.CutPrefix(text, "//"+allowPrefix)
+	if !found {
+		return nil, "", "", false
+	}
+	body = strings.TrimSpace(body)
+	spec, reason, found := strings.Cut(body, "--")
+	if !found {
+		return nil, "", "missing \" -- reason\"", true
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		return nil, "", "empty reason after \"--\"", true
+	}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, "", "empty analyzer name", true
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, "", "no analyzer names before \"--\"", true
+	}
+	return names, reason, "", true
+}
+
+// addFile scans one file's comments, recording well-formed directives and
+// reporting malformed ones (bad syntax, unknown analyzer names) into diags.
+func (x *directiveIndex) addFile(fset *token.FileSet, f *ast.File, known map[string]bool, diags *[]Diagnostic) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			names, reason, problem, ok := parseAllow(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if problem != "" {
+				*diags = append(*diags, Diagnostic{
+					Analyzer: directiveAnalyzerName,
+					Pos:      pos,
+					Message:  "malformed //kanon:allow directive: " + problem,
+				})
+				continue
+			}
+			valid := names[:0]
+			for _, name := range names {
+				if !known[name] {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: directiveAnalyzerName,
+						Pos:      pos,
+						Message:  fmt.Sprintf("//kanon:allow names unknown analyzer %q", name),
+					})
+					continue
+				}
+				valid = append(valid, name)
+			}
+			if len(valid) == 0 {
+				continue
+			}
+			x.all = append(x.all, Directive{Pos: pos, Analyzers: valid, Reason: reason})
+			lines := x.byFileLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]string)
+				x.byFileLine[pos.Filename] = lines
+			}
+			for _, name := range valid {
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					m := lines[line]
+					if m == nil {
+						m = make(map[string]string)
+						lines[line] = m
+					}
+					if _, dup := m[name]; !dup {
+						m[name] = reason
+					}
+				}
+			}
+		}
+	}
+}
+
+// allows reports whether a finding of the analyzer at pos is covered by a
+// directive, returning its reason.
+func (x *directiveIndex) allows(pos token.Position, analyzer string) (string, bool) {
+	lines := x.byFileLine[pos.Filename]
+	if lines == nil {
+		return "", false
+	}
+	reason, ok := lines[pos.Line][analyzer]
+	return reason, ok
+}
+
+// Directives returns every well-formed allow directive found in the
+// program, sorted by position — the inventory behind kanonlint -allows.
+func Directives(prog *Program, analyzers []*Analyzer) ([]Directive, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	index := newDirectiveIndex()
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			index.addFile(prog.Fset, f, known, &diags)
+		}
+		for _, f := range pkg.TestFiles {
+			index.addFile(prog.Fset, f, known, &diags)
+		}
+	}
+	return index.all, diags
+}

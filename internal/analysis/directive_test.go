@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseAllow pins the directive grammar.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text    string
+		names   []string
+		reason  string
+		problem string
+		ok      bool
+	}{
+		{"// a normal comment", nil, "", "", false},
+		{"//kanon:allow determinism -- timing only", []string{"determinism"}, "timing only", "", true},
+		{"//kanon:allow determinism,obsphase -- both", []string{"determinism", "obsphase"}, "both", "", true},
+		{"//kanon:allow determinism", nil, "", "missing \" -- reason\"", true},
+		{"//kanon:allow determinism --   ", nil, "", "empty reason after \"--\"", true},
+		{"//kanon:allow determinism,, -- x", nil, "", "empty analyzer name", true},
+	}
+	for _, c := range cases {
+		names, reason, problem, ok := parseAllow(c.text)
+		if ok != c.ok || problem != c.problem || reason != c.reason {
+			t.Errorf("parseAllow(%q) = (%v, %q, %q, %v), want (%v, %q, %q, %v)",
+				c.text, names, reason, problem, ok, c.names, c.reason, c.problem, c.ok)
+			continue
+		}
+		if strings.Join(names, "|") != strings.Join(c.names, "|") {
+			t.Errorf("parseAllow(%q) names = %v, want %v", c.text, names, c.names)
+		}
+	}
+}
+
+// TestDirectiveDiagnostics pins that malformed directives and unknown
+// analyzer names surface as (unsuppressible) diagnostics, and that the
+// valid directive lands in the inventory.
+func TestDirectiveDiagnostics(t *testing.T) {
+	dir, err := filepath.Abs("testdata/directives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadDir(dir, root, "kanon/internal/analysis/testdata/directives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dummy := &Analyzer{Name: "dummy", Doc: "reports nothing", Run: func(*Pass) error { return nil }}
+	diags, err := Run(prog, []*Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missingReason, unknownName int
+	for _, d := range diags {
+		if d.Analyzer != "directive" {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if d.Suppressed {
+			t.Errorf("directive diagnostics must not be suppressible: %s", d)
+		}
+		switch {
+		case strings.Contains(d.Message, "missing \" -- reason\""):
+			missingReason++
+		case strings.Contains(d.Message, "unknown analyzer"):
+			unknownName++
+		default:
+			t.Errorf("unclassified directive diagnostic: %s", d)
+		}
+	}
+	if missingReason != 1 || unknownName != 1 {
+		t.Errorf("got %d missing-reason and %d unknown-name diagnostics, want 1 and 1", missingReason, unknownName)
+	}
+
+	dirs, _ := Directives(prog, []*Analyzer{dummy})
+	if len(dirs) != 1 || dirs[0].Reason != "a valid, reasoned suppression" {
+		t.Errorf("Directives inventory = %+v, want the one valid directive", dirs)
+	}
+}

@@ -1,0 +1,136 @@
+// Package faultsite implements the kanonlint analyzer guarding fault
+// coverage (DESIGN.md §9): every declared fault-injection site must be
+// wired into an engine (a fault.Inject call with that site) and
+// exercised by a test (a test file referencing the constant in an
+// injection rule). A site that exists only as a constant is dead
+// instrumentation; a site without a test rule is an unproven recovery
+// path — exactly the drift the robustness suite is meant to prevent.
+//
+// The analyzer is whole-program: constants, call sites and test
+// references may live in different packages.
+package faultsite
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kanon/internal/analysis"
+)
+
+// FaultPath is the injection package.
+const FaultPath = "kanon/internal/fault"
+
+// Analyzer cross-checks Site* constants, fault.Inject calls and test
+// references over the whole program.
+var Analyzer = &analysis.Analyzer{
+	Name:         "faultsite",
+	WholeProgram: true,
+	Doc: "require every Site* fault-site constant to have a fault.Inject " +
+		"call and a test rule referencing it, and every injected site name " +
+		"to be a declared constant",
+	Run: run,
+}
+
+// site is one declared Site* constant.
+type site struct {
+	name  string
+	value string
+	pos   token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	var sites []site
+	injected := map[string]bool{}  // site string value → has Inject call
+	testRefs := map[string]bool{}  // constant name → referenced from a test file
+	var nonConst []token.Pos       // Inject calls with non-constant site
+	injectedAt := map[string][]token.Pos{}
+
+	for _, pkg := range pass.Program.Packages {
+		if pkg.PkgPath == FaultPath {
+			continue // the injection machinery itself declares no engine sites
+		}
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ValueSpec:
+					for _, id := range n.Names {
+						if !isSiteName(id.Name) {
+							continue
+						}
+						c, ok := info.Defs[id].(*types.Const)
+						if !ok {
+							continue
+						}
+						if c.Val().Kind() != constant.String {
+							pass.Reportf(id.Pos(), "fault site %s must be a string constant", id.Name)
+							continue
+						}
+						sites = append(sites, site{name: id.Name, value: constant.StringVal(c.Val()), pos: id.Pos()})
+					}
+				case *ast.CallExpr:
+					fn := analysis.CalleeFunc(info, n)
+					if !analysis.IsPkgFunc(fn, FaultPath, "Inject") || len(n.Args) != 1 {
+						return true
+					}
+					tv := info.Types[n.Args[0]]
+					if tv.Value == nil || tv.Value.Kind() != constant.String {
+						nonConst = append(nonConst, n.Pos())
+						return true
+					}
+					v := constant.StringVal(tv.Value)
+					injected[v] = true
+					injectedAt[v] = append(injectedAt[v], n.Pos())
+				}
+				return true
+			})
+		}
+		// Test references are syntactic: the test files are parsed but not
+		// type-checked, so a bare identifier or pkg.Selector mention of the
+		// constant counts.
+		for _, f := range pkg.TestFiles {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && isSiteName(id.Name) {
+					testRefs[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+
+	declared := map[string]bool{}
+	for _, s := range sites {
+		declared[s.value] = true
+	}
+	for _, s := range sites {
+		if !injected[s.value] {
+			pass.Reportf(s.pos, "fault site %s (%q) has no fault.Inject call: dead instrumentation — wire it into the engine or delete it", s.name, s.value)
+		}
+		if !testRefs[s.name] {
+			pass.Reportf(s.pos, "fault site %s has no test rule referencing it: add an injection test proving the recovery path (DESIGN.md §9)", s.name)
+		}
+	}
+	for _, pos := range nonConst {
+		pass.Reportf(pos, "fault.Inject with a non-constant site: sites must be declared Site* string constants so coverage is checkable")
+	}
+	for v, positions := range injectedAt {
+		if !declared[v] {
+			for _, pos := range positions {
+				pass.Reportf(pos, "fault.Inject(%q) names an undeclared site: declare a Site* constant for it", v)
+			}
+		}
+	}
+	return nil
+}
+
+// isSiteName matches the declared-site naming convention.
+func isSiteName(name string) bool {
+	if !strings.HasPrefix(name, "Site") || len(name) == len("Site") {
+		return false
+	}
+	r := name[len("Site")]
+	return r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+}

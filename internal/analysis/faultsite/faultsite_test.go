@@ -1,0 +1,15 @@
+package faultsite_test
+
+import (
+	"testing"
+
+	"kanon/internal/analysis/analysistest"
+	"kanon/internal/analysis/faultsite"
+)
+
+// TestFaultSiteFindings pins the cross-checks: un-injected sites,
+// untested sites, undeclared and non-constant Inject arguments — and the
+// //kanon:allow suppression form.
+func TestFaultSiteFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/fs", "kanon/internal/core", faultsite.Analyzer)
+}

@@ -1,0 +1,27 @@
+// Golden cases for the faultsite analyzer: declared sites must be
+// injected and test-referenced; injected names must be declared.
+package fs
+
+import "kanon/internal/fault"
+
+const (
+	// SiteGood is injected below and referenced by fs_test.go.
+	SiteGood = "fs.good"
+	// SiteNoInject is referenced by a test but never wired in.
+	SiteNoInject = "fs.noinject" // want "has no fault.Inject call"
+	// SiteNoTest is wired in but no test exercises it.
+	SiteNoTest = "fs.notest" // want "has no test rule referencing it"
+)
+
+// SiteLegacy shows the suppression form for a reviewed exception.
+const SiteLegacy = "fs.legacy" //kanon:allow faultsite -- retired site kept for config compatibility
+
+func engine() {
+	fault.Inject(SiteGood)
+	fault.Inject(SiteNoTest)
+	fault.Inject("fs.undeclared") // want "names an undeclared site"
+}
+
+func dynamic(site string) {
+	fault.Inject(site) // want "non-constant site"
+}

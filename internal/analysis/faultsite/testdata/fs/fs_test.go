@@ -1,0 +1,10 @@
+package fs
+
+import "kanon/internal/fault"
+
+// testRule references SiteGood (an injection rule) and SiteNoInject, so
+// neither is flagged for missing test coverage.
+func testRule() fault.Rule {
+	_ = SiteNoInject
+	return fault.Rule{Site: SiteGood, Hit: 1, Action: fault.Panic}
+}

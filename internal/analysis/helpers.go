@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Unparen strips any number of enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// CalleeFunc resolves a call's callee to its *types.Func, or nil when the
+// callee is not a statically known function or method (a func value, a
+// conversion, a builtin).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.Fn.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// IsMethod reports whether fn is the method name on the (possibly
+// pointer-receiver) named type pkgPath.typeName.
+func IsMethod(fn *types.Func, pkgPath, typeName, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// PathWithin reports whether pkgPath is prefix itself or nested below it.
+func PathWithin(pkgPath, prefix string) bool {
+	return pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")
+}
+
+// PathWithinAny reports whether pkgPath falls under any of the prefixes.
+func PathWithinAny(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if PathWithin(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}

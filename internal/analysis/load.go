@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	Error        *struct{ Err string }
+}
+
+// Load lists the given package patterns (relative to dir, typically a
+// module root) with `go list -export -deps`, parses and type-checks every
+// matched non-dependency package, and parses its test files syntax-only.
+// Imports — stdlib and module-local alike — are resolved from the
+// compiler export data the go command hands back, so loading needs no
+// network and no pre-built package tree beyond the build cache.
+func Load(dir string, patterns ...string) (*Program, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg := p
+		if pkg.Export != "" {
+			exports[pkg.ImportPath] = pkg.Export
+		}
+		if !pkg.DepOnly && !pkg.Standard {
+			targets = append(targets, &pkg)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	prog := &Program{Fset: fset}
+	for _, lp := range targets {
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	if len(lp.CgoFiles) > 0 {
+		// Cgo packages would need the generated files; the project has
+		// none, so refuse loudly rather than silently analyzing half a
+		// package.
+		return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var testFiles []*ast.File
+	for _, name := range append(append([]string{}, lp.TestGoFiles...), lp.XTestGoFiles...) {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		testFiles = append(testFiles, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		// Listed packages already compiled, so hard type errors cannot
+		// happen; keep going on soft ones so analysis degrades gracefully.
+		Error: func(error) {},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   lp.ImportPath,
+		Dir:       lp.Dir,
+		Files:     files,
+		TestFiles: testFiles,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// newTypesInfo allocates the full set of type-information maps the
+// analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// newExportImporter builds a types.Importer reading compiler export data
+// from the files `go list -export` reported, falling back to the source
+// importer for anything unlisted (which should not happen for complete
+// -deps listings).
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	cache := make(map[string]*types.Package)
+	var imp *exportImporter
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp = &exportImporter{
+		gc:    importer.ForCompiler(fset, "gc", lookup),
+		cache: cache,
+	}
+	return imp
+}
+
+type exportImporter struct {
+	gc    types.Importer
+	cache map[string]*types.Package
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := e.cache[path]; ok {
+		return p, nil
+	}
+	p, err := e.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	e.cache[path] = p
+	return p, nil
+}
+
+// LoadDir parses every .go file directly inside dir as one package with
+// the given import path and type-checks the non-test files, resolving
+// imports the same way Load does (moduleDir anchors the `go list` calls
+// used to materialize export data for the imports). Files ending in
+// _test.go are attached syntax-only, mirroring Load. This is the loader
+// behind the analysistest harness: testdata directories are not listable
+// packages, yet golden cases still want real types and a real package
+// path so path-gated analyzers behave exactly as in production.
+func LoadDir(dir, moduleDir, importPath string) (*Program, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files, testFiles []*ast.File
+	var imports []string
+	seen := map[string]bool{}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, f)
+			continue
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no non-test .go files in %s", dir)
+	}
+	exports, err := exportData(moduleDir, imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := newExportImporter(fset, exports)
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", dir, err)
+	}
+	return &Program{
+		Fset: fset,
+		Packages: []*Package{{
+			PkgPath:   importPath,
+			Dir:       dir,
+			Files:     files,
+			TestFiles: testFiles,
+			Types:     tpkg,
+			TypesInfo: info,
+		}},
+	}, nil
+}
+
+// TypeCheckFiles type-checks already-parsed files as one package,
+// resolving imports through compiler export data supplied by lookup.
+// It backs cmd/kanonlint's `go vet -vettool` unit mode, where the go
+// command hands the tool a ready-made import-path → export-file map
+// instead of the tool running `go list` itself. Unlike Load — whose
+// inputs already compiled — any type error is returned (with whatever
+// partial results exist), because in unit mode the caller must honor
+// the protocol's SucceedOnTypecheckFailure decision itself.
+func TypeCheckFiles(fset *token.FileSet, importPath, compiler string, files []*ast.File, lookup func(path string) (io.ReadCloser, error)) (*types.Package, *types.Info, error) {
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := &exportImporter{
+		gc:    importer.ForCompiler(fset, compiler, lookup),
+		cache: make(map[string]*types.Package),
+	}
+	info := newTypesInfo()
+	var firstErr error
+	conf := types.Config{Importer: imp, Error: func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err == nil {
+		err = firstErr
+	}
+	if err != nil {
+		return tpkg, info, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return tpkg, info, nil
+}
+
+// exportData lists the given import paths (plus dependencies) from
+// moduleDir and returns path → export-data file.
+func exportData(moduleDir string, imports []string) (map[string]string, error) {
+	exports := make(map[string]string)
+	if len(imports) == 0 {
+		return exports, nil
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps", "-json=ImportPath,Export,Error",
+	}, imports...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(imports, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,40 @@
+// Package nogoroutine implements the kanonlint analyzer guarding the
+// concurrency discipline of DESIGN.md §9: every goroutine in the stack is
+// owned by the internal/par pool, whose tasks run under recover (panic
+// containment via *par.TaskPanic) and drain deterministically on
+// cancellation. A raw go statement anywhere else bypasses both
+// guarantees, so it is forbidden outside internal/par itself.
+package nogoroutine
+
+import (
+	"go/ast"
+
+	"kanon/internal/analysis"
+)
+
+// PoolPath is the one package allowed to start goroutines.
+const PoolPath = "kanon/internal/par"
+
+// Analyzer forbids raw go statements outside internal/par. Test files are
+// exempt by construction (analyzers only see non-test files).
+var Analyzer = &analysis.Analyzer{
+	Name: "nogoroutine",
+	Doc: "forbid raw go statements outside internal/par: goroutines must run " +
+		"as pool tasks so panic containment and cancellation draining hold",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathWithin(pass.Pkg.PkgPath, PoolPath) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "raw go statement outside %s: submit the work to a par.Pool so panics are contained and cancellation drains it", PoolPath)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"kanon/internal/analysis/analysistest"
+	"kanon/internal/analysis/nogoroutine"
+)
+
+// TestNoGoroutineFindings pins that raw go statements outside
+// internal/par are flagged and that //kanon:allow suppresses.
+func TestNoGoroutineFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/ng", "kanon/internal/cluster", nogoroutine.Analyzer)
+}
+
+// TestNoGoroutinePoolExempt pins that internal/par itself may start
+// goroutines.
+func TestNoGoroutinePoolExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/pool", "kanon/internal/par", nogoroutine.Analyzer)
+}

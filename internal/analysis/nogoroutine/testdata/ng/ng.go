@@ -1,0 +1,23 @@
+// Golden cases for the nogoroutine analyzer, loaded under a non-pool
+// import path (kanon/internal/cluster).
+package ng
+
+func spawn(fn func()) {
+	go fn() // want "raw go statement"
+}
+
+func inline() {
+	done := make(chan struct{})
+	go func() { close(done) }() // want "raw go statement"
+	<-done
+}
+
+// allowed shows the suppression form for a reviewed exception.
+func allowed(fn func()) {
+	go fn() //kanon:allow nogoroutine -- reviewed: fire-and-forget logger outside the engines
+}
+
+// poolShaped is the sanctioned style: hand the closure to a pool.
+func poolShaped(submit func(func()), fn func()) {
+	submit(fn)
+}

@@ -1,0 +1,13 @@
+// Golden gate case: loaded as kanon/internal/par, the one package that
+// owns goroutines, so nothing here may be flagged.
+package pool
+
+func helpers(tasks chan func()) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			for task := range tasks {
+				task()
+			}
+		}()
+	}
+}

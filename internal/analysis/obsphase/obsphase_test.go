@@ -1,0 +1,16 @@
+package obsphase_test
+
+import (
+	"testing"
+
+	"kanon/internal/analysis/analysistest"
+	"kanon/internal/analysis/obsphase"
+)
+
+// TestObsPhaseFindings pins the phase-bracket contract: every failing
+// shape (collapsed, discarded, missing-on-path, raw bracket events) is
+// flagged, every sanctioned shape (defer, named end on all paths,
+// ownership transfer) is quiet, and //kanon:allow suppresses.
+func TestObsPhaseFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/op", "kanon/internal/core", obsphase.Analyzer)
+}

@@ -1,0 +1,12 @@
+// Exercises the //kanon:allow directive grammar: one malformed (no
+// reason), one naming an unknown analyzer, one valid.
+package directives
+
+//kanon:allow dummy
+func missingReason() {}
+
+//kanon:allow nosuchanalyzer -- typo in the analyzer name
+func unknownName() {}
+
+//kanon:allow dummy -- a valid, reasoned suppression
+func valid() {}

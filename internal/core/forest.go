@@ -84,6 +84,7 @@ func ForestCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int) (
 		// One pass over all pairs: best outgoing edge per small component.
 		bestW := make(map[int]float64, len(small))
 		bestE := make(map[int]edge, len(small))
+		//kanon:allow determinism -- per-key default initialization; each write touches only its own key
 		for r := range small {
 			bestW[r] = math.Inf(1)
 		}
@@ -120,6 +121,7 @@ func ForestCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k int) (
 		// Merge deterministically: process small components in ascending
 		// root order; skip those already merged this round.
 		roots := make([]int, 0, len(small))
+		//kanon:allow determinism -- keys are collected then sorted before any order-dependent use
 		for r := range small {
 			roots = append(roots, r)
 		}

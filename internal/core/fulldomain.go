@@ -147,9 +147,7 @@ func FullDomainCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k in
 // materializing the generalized table: records are grouped by the byte
 // encoding of their per-attribute generalized nodes.
 func fullDomainKAnonymous(tbl *table.Table, ancestorAt [][][]int, levels []int, k int, buf []byte, groups map[string]int) bool {
-	for key := range groups {
-		delete(groups, key)
-	}
+	clear(groups)
 	for _, rec := range tbl.Records {
 		buf = buf[:0]
 		for j, v := range rec {
@@ -158,6 +156,7 @@ func fullDomainKAnonymous(tbl *table.Table, ancestorAt [][][]int, levels []int, 
 		}
 		groups[string(buf)]++
 	}
+	//kanon:allow determinism -- universal predicate over group counts; the verdict is independent of visit order
 	for _, c := range groups {
 		if c < k {
 			return false

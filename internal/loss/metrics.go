@@ -63,6 +63,7 @@ func Classification(g *table.GenTable, labels []int) (float64, error) {
 			counts[labels[i]]++
 		}
 		best := 0
+		//kanon:allow determinism -- max over label counts is a commutative fold
 		for _, c := range counts {
 			if c > best {
 				best = c

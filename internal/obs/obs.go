@@ -244,7 +244,7 @@ type runKey struct{}
 // context.Background(); a nil rec returns ctx unchanged (disabled).
 func With(ctx context.Context, rec Recorder) context.Context {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //kanon:allow ctxflow -- documented nil-ctx normalization at the observability boundary
 	}
 	if rec == nil {
 		return ctx
@@ -256,7 +256,7 @@ func With(ctx context.Context, rec Recorder) context.Context {
 // invocations share one monotonic clock.
 func WithRun(ctx context.Context, run *Run) context.Context {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //kanon:allow ctxflow -- documented nil-ctx normalization at the observability boundary
 	}
 	if run == nil {
 		return ctx

@@ -134,6 +134,7 @@ func NewTraceRecorder() *TraceRecorder {
 func (t *TraceRecorder) Record(e Event) {
 	switch e.Kind {
 	case KindPhaseStart:
+		//kanon:allow ctxflow -- runtime/trace regions need a context but Recorder.Record is context-free by design
 		r := trace.StartRegion(context.Background(), "kanon:"+e.Phase)
 		t.mu.Lock()
 		t.regions[e.Phase] = append(t.regions[e.Phase], r)

@@ -310,7 +310,7 @@ func (r *Result) Stats() RunStats { return r.stats }
 // minimizing the requested information-loss measure heuristically. It is
 // AnonymizeContext under context.Background().
 func Anonymize(t *Table, opt Options) (*Result, error) {
-	return AnonymizeContext(context.Background(), t, opt)
+	return AnonymizeContext(context.Background(), t, opt) //kanon:allow ctxflow -- Anonymize is the documented no-context convenience wrapper
 }
 
 // AnonymizeContext is Anonymize under a context: every pipeline checks for
@@ -327,7 +327,7 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 		return nil, err
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //kanon:allow ctxflow -- THE canonical nil-ctx definition site (see doc comment above)
 	}
 	if opt.Notion == "" {
 		opt.Notion = NotionKK

@@ -354,9 +354,12 @@ func TestGlobalUpgradeStatsExposed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := res.UpgradeStats
-	if st.InitialMinMatches < 0 || st.GeneralizationSteps < 0 {
-		t.Errorf("stats malformed: %+v", st)
+	st := res.Stats()
+	if st.Counter("core.global.matchings") < 1 {
+		t.Errorf("no matching rebuilds recorded for a global-(1,k) run: %s", st.JSON())
+	}
+	if st.Counter("core.global.steps") < 0 || st.Counter("core.global.deficient") < 0 {
+		t.Errorf("stats malformed: %s", st.JSON())
 	}
 	if !res.Verify(4).Global1K {
 		t.Error("global notion not satisfied")

@@ -1,0 +1,14 @@
+// Tool-dependency module (the nested-module "tools pattern"): pins the
+// versions of developer/CI binaries without adding anything to the main
+// module's dependency graph, which stays stdlib-only and offline-buildable.
+// CI installs from here with:
+//
+//	cd tools && go mod tidy && go install honnef.co/go/tools/cmd/staticcheck golang.org/x/vuln/cmd/govulncheck
+module kanon/tools
+
+go 1.22
+
+require (
+	golang.org/x/vuln v1.1.3
+	honnef.co/go/tools v0.5.1
+)

@@ -1,0 +1,12 @@
+//go:build tools
+
+// Package tools records the repository's pinned tool dependencies
+// (staticcheck, govulncheck) so `go mod tidy` keeps their versions in
+// go.mod/go.sum. The build tag keeps the imports out of every real build;
+// this module is not part of the main module's workspace.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
