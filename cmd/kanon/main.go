@@ -43,6 +43,7 @@ func main() {
 		sensPath  = flag.String("sensitive", "", "file with one sensitive value per record (enables -diversity)")
 		autoHier  = flag.Int("auto-hier", 0, "infer interval hierarchies for numeric attributes (base bucket width, 0=off)")
 		workers   = flag.Int("workers", 0, "worker pool size for the parallel anonymizers (0 = all CPUs, 1 = sequential; output is identical)")
+		kernel    = flag.String("kernel", "on", "flat distance kernel for the agglomerative engine: on, off (output is identical)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no limit)")
 		maxRec    = flag.Int("max-records", 0, "fail fast when the input has more than this many records (0 = no limit)")
 		stats     = flag.Bool("stats", false, "print the run's statistics (phases, counters, peaks) as JSON on stderr")
@@ -61,6 +62,13 @@ func main() {
 		UseNearest: *nearest,
 		Diversity:  *diversity,
 		Workers:    *workers,
+		NoKernel:   *kernel == "off",
+	}
+	switch *kernel {
+	case "on", "off":
+	default:
+		fmt.Fprintf(os.Stderr, "kanon: bad -kernel: must be on or off (value %q)\n", *kernel)
+		os.Exit(2)
 	}
 	// Reject bad option combinations before touching any data, naming the
 	// offending flag.

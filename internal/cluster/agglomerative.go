@@ -64,6 +64,14 @@ type AggloOptions struct {
 	// deterministic and every tie is broken toward the lowest cluster id,
 	// so any worker count produces the identical clustering.
 	Workers int
+
+	// NoKernel disables the flat distance kernel (the precomputed LCA-cost
+	// tables, the closure arena and the devirtualized distance switch of
+	// kernel.go), forcing the reference per-cluster evaluation path. The
+	// clustering is byte-identical either way; the flag is the escape
+	// hatch exposed as `-kernel=off` on the CLIs and the reference side of
+	// the kernel equivalence harness.
+	NoKernel bool
 }
 
 // AggloStats reports the work an engine run performed and where its wall
@@ -165,6 +173,9 @@ func AgglomerateStatsCtx(ctx context.Context, s *Space, tbl *table.Table, opt Ag
 		return nil, stats, ctx.Err()
 	}
 	e := &aggloEngine{s: s, tbl: tbl, opt: opt, ctx: ctx, o: obs.From(ctx)}
+	if !opt.NoKernel {
+		e.kern = newKernel(s, opt.Distance)
+	}
 	if err := e.run(); err != nil {
 		e.stats.Workers = stats.Workers
 		return nil, e.stats, err
@@ -228,9 +239,23 @@ type aggloEngine struct {
 
 	pool *par.Pool
 
+	// kern, when non-nil, is the flat distance kernel (kernel.go): cluster
+	// closures live in its arena instead of nodes[i].Closure, membership is
+	// tracked by the mHead/mTail/mNext chains, and nodes[i] stays nil until
+	// a cluster is materialized as final. When nil (AggloOptions.NoKernel)
+	// the engine runs the reference per-cluster path unchanged.
+	kern *kernel
+
 	nodes []*Cluster
 	alive []bool
 	nLive int
+
+	// Member chains (kernel mode): cluster id's members are the record
+	// indices mHead[id], mNext[mHead[id]], … through mTail[id]. Merging
+	// concatenates chains in O(1) with no allocation, preserving the exact
+	// a-then-b member order of the reference Space.Merge.
+	mHead, mTail []int32
+	mNext        []int32
 
 	nn1, nn2 []int // -1: none/unknown
 	d1, d2   []float64
@@ -244,8 +269,21 @@ type aggloEngine struct {
 	spanEvals []int64
 	needScan  []bool
 
+	// Kernel-mode scratch, reused across merges: the newborn-id list of
+	// each merge, the shrink prefix/suffix closure slabs, and the shrink
+	// diversity counts.
+	addedScratch []int
+	shrinkPre    []int32
+	shrinkSuf    []int32
+	shrinkCounts map[int]int
+
 	distEvals atomic.Int64
-	stats     AggloStats
+	// shrinkEvals counts the distance evaluations of the Algorithm 2
+	// shrink step, which evaluate no LCAs; subtracting them from DistEvals
+	// yields the kernel's per-attribute resolution count for the
+	// table-hit/fallback-walk counters. Driving goroutine only.
+	shrinkEvals int64
+	stats       AggloStats
 
 	final []*Cluster
 }
@@ -279,8 +317,18 @@ func (e *aggloEngine) run() error {
 	e.nn2 = make([]int, 0, 2*n)
 	e.d1 = make([]float64, 0, 2*n)
 	e.d2 = make([]float64, 0, 2*n)
-	for i := 0; i < n; i++ {
-		e.push(e.s.NewSingleton(e.tbl, i))
+	if e.kern != nil {
+		e.kern.reserve(2*n, n)
+		e.mHead = make([]int32, 0, 2*n)
+		e.mTail = make([]int32, 0, 2*n)
+		e.mNext = make([]int32, n)
+		for i := 0; i < n; i++ {
+			e.pushSingletonK(i)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			e.push(e.s.NewSingleton(e.tbl, i))
+		}
 	}
 	// Initial nearest-neighbour build: one independent scan per cluster.
 	// Each record's O(n) scan is a cancellation checkpoint, bounding the
@@ -318,28 +366,34 @@ func (e *aggloEngine) run() error {
 			break // defensive: cannot happen with nLive > 1
 		}
 		a, b := best, e.nn1[best]
-		merged := e.s.Merge(e.nodes[a], e.nodes[b])
-		e.kill(a)
-		e.kill(b)
-
-		var added []int
-		if merged.Size() >= e.opt.K && e.diverseEnough(merged) {
-			if e.opt.Modified && merged.Size() > e.opt.K {
-				removed := e.shrink(merged)
-				for _, ri := range removed {
-					added = append(added, e.push(e.s.NewSingleton(e.tbl, ri)))
-				}
-			}
-			e.final = append(e.final, merged)
+		added := e.addedScratch[:0]
+		var mergedSize int
+		if e.kern != nil {
+			added, mergedSize = e.mergeK(a, b, added)
 		} else {
-			added = append(added, e.push(merged))
+			merged := e.s.Merge(e.nodes[a], e.nodes[b])
+			mergedSize = merged.Size()
+			e.kill(a)
+			e.kill(b)
+			if merged.Size() >= e.opt.K && e.diverseEnough(merged) {
+				if e.opt.Modified && merged.Size() > e.opt.K {
+					removed := e.shrink(merged)
+					for _, ri := range removed {
+						added = append(added, e.push(e.s.NewSingleton(e.tbl, ri)))
+					}
+				}
+				e.final = append(e.final, merged)
+			} else {
+				added = append(added, e.push(merged))
+			}
 		}
+		e.addedScratch = added[:0]
 		tRep := time.Now() //kanon:allow determinism -- phase wall-clock feeds Stats timing only, never engine output
 		e.stats.SelectNanos += tRep.Sub(tSel).Nanoseconds()
 		e.repairNN(a, b, added)
 		e.stats.RepairNanos += time.Since(tRep).Nanoseconds()
 		e.stats.Merges++
-		e.o.Event(obs.KindMerge, PhaseMerge, int64(merged.Size()))
+		e.o.Event(obs.KindMerge, PhaseMerge, int64(mergedSize))
 		e.o.Peak("cluster.live_peak", int64(e.nLive))
 	}
 	endMerge()
@@ -353,14 +407,26 @@ func (e *aggloEngine) run() error {
 		if !ok {
 			continue
 		}
-		for _, ri := range e.nodes[i].Members {
-			if e.cancelled() {
-				endAbsorb()
-				return e.ctx.Err()
+		if e.kern != nil {
+			for ri := e.mHead[i]; ri >= 0; ri = e.mNext[ri] {
+				if e.cancelled() {
+					endAbsorb()
+					return e.ctx.Err()
+				}
+				fault.Inject(SiteAbsorb)
+				e.absorbK(int(ri))
+				absorbed++
 			}
-			fault.Inject(SiteAbsorb)
-			e.absorb(ri)
-			absorbed++
+		} else {
+			for _, ri := range e.nodes[i].Members {
+				if e.cancelled() {
+					endAbsorb()
+					return e.ctx.Err()
+				}
+				fault.Inject(SiteAbsorb)
+				e.absorb(ri)
+				absorbed++
+			}
 		}
 	}
 	e.stats.AbsorbNanos = time.Since(tAbs).Nanoseconds()
@@ -371,6 +437,17 @@ func (e *aggloEngine) run() error {
 		e.o.Counter("cluster.merges", e.stats.Merges)
 		e.o.Counter("cluster.repair_scans", e.stats.RepairScans)
 		e.o.Counter("cluster.absorbs", absorbed)
+		if k := e.kern; k != nil {
+			// Every non-shrink distance evaluation resolves r per-attribute
+			// LCA costs, each served by a fused table or a fallback walk;
+			// both derived counts are worker-count invariant because
+			// DistEvals is.
+			lcaEvals := e.stats.DistEvals - e.shrinkEvals
+			e.o.Counter(obs.CounterKernelTableHits, lcaEvals*int64(k.tabled))
+			e.o.Counter(obs.CounterKernelFallbackWalks, lcaEvals*int64(k.walked))
+			e.o.Counter(obs.CounterKernelArenaReuses, k.reuses)
+			e.o.Peak(obs.PeakKernelArenaRows, int64(k.peakRows))
+		}
 		ps := e.pool.Stats()
 		e.o.Sched("pool.size", int64(e.pool.Size()))
 		e.o.Sched("pool.spans", ps.Spans)
@@ -400,13 +477,21 @@ func (e *aggloEngine) kill(id int) {
 	if e.alive[id] {
 		e.alive[id] = false
 		e.nLive--
+		if e.kern != nil {
+			e.kern.kill(id)
+		}
 	}
 }
 
 // dist evaluates dist(A, B) for clusters a, b without allocating. It reads
 // only immutable state (closures, hierarchies, cost tables) and is safe to
-// call from pool workers.
+// call from pool workers. With the kernel armed it streams two arena rows
+// through the fused LCA-cost tables; the reference path below walks the
+// per-cluster GenRecords and dispatches through the Distance interface.
 func (e *aggloEngine) dist(a, b int) float64 {
+	if e.kern != nil {
+		return e.kern.dist(a, b)
+	}
 	ca, cb := e.nodes[a], e.nodes[b]
 	r := e.s.NumAttrs()
 	sum := 0.0

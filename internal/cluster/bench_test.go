@@ -59,7 +59,7 @@ func BenchmarkAgglomerateModified500(b *testing.B) {
 // numbers). On a single-CPU machine both run the same sequential schedule,
 // so parity — not speedup — is the expected reading there.
 func BenchmarkAgglomerateWorkers(b *testing.B) {
-	for _, n := range []int{1000, 2000, 5000} {
+	for _, n := range []int{1000, 2000, 5000, 10000} {
 		s, ds := benchSpace(b, n)
 		workerCounts := []int{1}
 		if cpus := runtime.NumCPU(); cpus > 1 {
@@ -77,6 +77,62 @@ func BenchmarkAgglomerateWorkers(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAgglomerateKernelOff is the n=2000 reference-path run: diffing
+// it against BenchmarkAgglomerateWorkers/n=2000/workers=1 isolates the flat
+// kernel's speedup inside one binary.
+func BenchmarkAgglomerateKernelOff(b *testing.B) {
+	s, ds := benchSpace(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Agglomerate(s, ds.Table, AggloOptions{K: 10, Distance: D3{}, Workers: 1, NoKernel: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistKernel is the inner-loop microbenchmark: one dist(A, B)
+// evaluation through the flat kernel (fused-table loads over arena rows)
+// versus the reference path (LCA pointer walks over heap GenRecords plus
+// interface dispatch).
+func BenchmarkDistKernel(b *testing.B) {
+	s, ds := benchSpace(b, 200)
+	ca := s.NewCluster(ds.Table, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	cb := s.NewCluster(ds.Table, []int{100, 101, 102, 103})
+	d := Distance(D3{})
+	r := s.NumAttrs()
+
+	k := newKernel(s, d)
+	k.reserve(2, 200)
+	row := make([]int32, r)
+	for j, node := range ca.Closure {
+		row[j] = int32(node)
+	}
+	k.addMerged(0, row, ca.Cost, ca.Size())
+	for j, node := range cb.Closure {
+		row[j] = int32(node)
+	}
+	k.addMerged(1, row, cb.Cost, cb.Size())
+
+	b.Run("kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = k.dist(0, 1)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sum := 0.0
+			for j := 0; j < r; j++ {
+				node := s.Hiers[j].LCA(ca.Closure[j], cb.Closure[j])
+				sum += s.CostAt(j, node)
+			}
+			dU := sum / float64(r)
+			_ = d.Eval(ca.Size(), cb.Size(), ca.Size()+cb.Size(), ca.Cost, cb.Cost, dU)
+		}
+	})
 }
 
 func BenchmarkClusterMerge(b *testing.B) {

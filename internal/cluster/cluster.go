@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"kanon/internal/hierarchy"
 	"kanon/internal/loss"
@@ -25,6 +26,15 @@ type Space struct {
 	// costs[j][node] materializes Measure.Cost for every hierarchy node, so
 	// the engines' inner loops are plain slice lookups.
 	costs [][]float64
+
+	// Fused LCA-cost tables for the flat distance kernel, built once per
+	// space on first kernel construction (fusedOnce) and shared by every
+	// engine run: fused[j][u*nn+v] = costs[j][LCA(u,v)], so the kernel's
+	// inner loop resolves a per-attribute cost in one load instead of an
+	// LCA walk plus a cost lookup. Entries are nil for attributes whose
+	// hierarchy exceeds hierarchy.LCATableBudget; the kernel walks those.
+	fusedOnce sync.Once
+	fused     [][]float64
 }
 
 // NewSpace validates that the hierarchies and measure agree on the number
@@ -49,6 +59,28 @@ func NewSpace(hiers []*hierarchy.Hierarchy, m loss.Measure) (*Space, error) {
 // CostAt returns the per-entry cost of generalizing attribute j to the
 // given hierarchy node, from the precomputed table.
 func (s *Space) CostAt(j, node int) float64 { return s.costs[j][node] }
+
+// fusedTables returns the per-attribute fused LCA-cost tables (nil entries
+// for over-budget attributes), building them on first use. Safe for
+// concurrent callers; the tables must not be modified.
+func (s *Space) fusedTables() [][]float64 {
+	s.fusedOnce.Do(func() {
+		fused := make([][]float64, len(s.Hiers))
+		for j, h := range s.Hiers {
+			lt := h.LCATable()
+			if lt == nil {
+				continue
+			}
+			t := make([]float64, len(lt))
+			for idx, node := range lt {
+				t[idx] = s.costs[j][node]
+			}
+			fused[j] = t
+		}
+		s.fused = fused
+	})
+	return s.fused
+}
 
 // NumAttrs returns the number of attributes r.
 func (s *Space) NumAttrs() int { return len(s.Hiers) }

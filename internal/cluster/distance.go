@@ -98,25 +98,30 @@ func (NC) Eval(_, _, _ int, _, dB, dU float64) float64 {
 	return dU - dB
 }
 
+// The package-level distance tables backing PaperDistances, AllDistances
+// and DistanceByName. The distances are stateless values, so sharing the
+// slices is safe as long as callers treat them as read-only; previously
+// every call rebuilt them, which showed up in per-record resolution loops.
+var (
+	paperDistances  = []Distance{D1{}, D2{}, D3{}, D4{}}
+	allDistances    = []Distance{D1{}, D2{}, D3{}, D4{}, NC{}}
+	distancesByName = map[string]Distance{
+		"d1": D1{}, "d2": D2{}, "d3": D3{}, "d4": D4{}, "nc": NC{},
+	}
+)
+
 // PaperDistances returns the four distance functions of Section V-A.2 in
-// order (8), (9), (10), (11).
-func PaperDistances() []Distance {
-	return []Distance{D1{}, D2{}, D3{}, D4{}}
-}
+// order (8), (9), (10), (11). The returned slice is shared and must not be
+// modified.
+func PaperDistances() []Distance { return paperDistances }
 
 // AllDistances returns the paper's four distances plus the Nergiz–Clifton
-// asymmetric variant.
-func AllDistances() []Distance {
-	return append(PaperDistances(), NC{})
-}
+// asymmetric variant. The returned slice is shared and must not be
+// modified.
+func AllDistances() []Distance { return allDistances }
 
-// DistanceByName resolves a distance by its Name; it returns nil for an
-// unknown name.
+// DistanceByName resolves a distance by its Name in one table lookup; it
+// returns nil for an unknown name.
 func DistanceByName(name string) Distance {
-	for _, d := range AllDistances() {
-		if d.Name() == name {
-			return d
-		}
-	}
-	return nil
+	return distancesByName[name]
 }

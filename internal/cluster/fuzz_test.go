@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 
 	"kanon/internal/hierarchy"
@@ -104,6 +105,94 @@ func FuzzAgglomerate(f *testing.F) {
 					t.Errorf("cluster %d has %d distinct sensitive values, want ≥ %d", ci, len(distinct), opt.MinDiversity)
 				}
 			}
+		}
+	})
+}
+
+// FuzzDistKernelEquivalence pits the flat kernel's dist against the
+// reference evaluation (per-attribute LCA walk + Distance.Eval through the
+// interface) over random cluster pairs, for all five built-in distances:
+// the results must be bit-equal float64s, both argument orders. It then
+// replays the whole engine kernel-on vs kernel-off on the same table.
+func FuzzDistKernelEquivalence(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x13, 0x24, 0x35, 0x46}, uint8(2), uint8(3))
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0xfc, 0x01, 0x02, 0x03, 0x04}, uint8(5), uint8(2))
+	f.Add([]byte{0xaa, 0x55, 0xaa, 0x55, 0x11, 0x22, 0x33, 0x44}, uint8(1), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, split, kb uint8) {
+		s := fuzzSpace(t)
+		tbl, _ := fuzzTable(data)
+		n := tbl.Len()
+		if n < 2 {
+			return
+		}
+		// Split the records into two non-empty member sets and build the
+		// pair of clusters both paths will measure.
+		cut := 1 + int(split)%(n-1)
+		var ma, mb []int
+		for i := 0; i < cut; i++ {
+			ma = append(ma, i)
+		}
+		for i := cut; i < n; i++ {
+			mb = append(mb, i)
+		}
+		ca, cb := s.NewCluster(tbl, ma), s.NewCluster(tbl, mb)
+		r := s.NumAttrs()
+		row := make([]int32, r)
+		for _, d := range AllDistances() {
+			// Reference: the NoKernel engine's dist body, verbatim.
+			sum := 0.0
+			for j := 0; j < r; j++ {
+				node := s.Hiers[j].LCA(ca.Closure[j], cb.Closure[j])
+				sum += s.CostAt(j, node)
+			}
+			dU := sum / float64(r)
+			want := d.Eval(ca.Size(), cb.Size(), ca.Size()+cb.Size(), ca.Cost, cb.Cost, dU)
+
+			k := newKernel(s, d)
+			k.reserve(2, n)
+			for j, node := range ca.Closure {
+				row[j] = int32(node)
+			}
+			k.addMerged(0, row, ca.Cost, ca.Size())
+			for j, node := range cb.Closure {
+				row[j] = int32(node)
+			}
+			k.addMerged(1, row, cb.Cost, cb.Size())
+			if got := k.dist(0, 1); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Errorf("%s: kernel dist = %v (%x), reference = %v (%x)",
+					d.Name(), got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			// The reverse order too: NC is asymmetric, and the engine
+			// evaluates both orientations across a run.
+			sum = 0.0
+			for j := 0; j < r; j++ {
+				node := s.Hiers[j].LCA(cb.Closure[j], ca.Closure[j])
+				sum += s.CostAt(j, node)
+			}
+			dU = sum / float64(r)
+			want = d.Eval(cb.Size(), ca.Size(), cb.Size()+ca.Size(), cb.Cost, ca.Cost, dU)
+			if got := k.dist(1, 0); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Errorf("%s: kernel dist(b,a) = %v, reference = %v", d.Name(), got, want)
+			}
+		}
+		// Whole-engine replay: kernel-on must reproduce the reference
+		// clustering on the same input, both algorithms.
+		dists := AllDistances()
+		opt := AggloOptions{
+			K:        1 + int(kb)%n,
+			Distance: dists[int(split)%len(dists)],
+			Modified: kb&1 != 0,
+			Workers:  1,
+		}
+		optRef := opt
+		optRef.NoKernel = true
+		ref, refErr := Agglomerate(s, tbl, optRef)
+		got, gotErr := Agglomerate(s, tbl, opt)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("reference err=%v, kernel err=%v", refErr, gotErr)
+		}
+		if refErr == nil {
+			assertSameClustering(t, "kernel vs reference", ref, got)
 		}
 	})
 }

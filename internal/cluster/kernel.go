@@ -1,0 +1,566 @@
+package cluster
+
+import (
+	"math"
+
+	"kanon/internal/table"
+)
+
+// This file implements the flat distance kernel of the agglomerative
+// engine (DESIGN.md §12). The reference engine evaluates dist(A, B) by
+// walking per-attribute LCA pointer chains over one heap-allocated
+// GenRecord per live cluster and dispatching through the Distance
+// interface — three indirections per attribute on a path executed millions
+// of times. The kernel removes all of them:
+//
+//   - per-attribute LCA and cost resolution collapse into one load from a
+//     fused table fused[j][u*nn+v] = cost(LCA(u, v)), precomputed once per
+//     Space (cluster.go fusedTables) from the hierarchy's dense LCA table
+//     (hierarchy.LCATable). Attributes whose nodes² exceeds
+//     hierarchy.LCATableBudget keep the walk-up path, per attribute;
+//   - live-cluster closures live in one struct-of-arrays arena
+//     (rows []int32, stride NumAttrs) with slot reuse on kill/push, so
+//     dist streams two contiguous rows instead of chasing two heap
+//     GenRecords; per-id costs and sizes sit in parallel flat arrays;
+//   - the Distance interface is resolved once at kernel construction into
+//     a distKind, and eval switches on it with the inlined formulas of
+//     distance.go — user-supplied distances fall back to the interface.
+//
+// The kernel is byte-exact against the reference path: every float64 sum
+// runs in the same (ascending-attribute) order, the fused tables are built
+// from the same CostAt/LCA functions the reference calls, and the eval
+// switch repeats the Eval expressions verbatim, so kernel-on and
+// kernel-off clusterings are identical (see kernel_test.go and
+// FuzzDistKernelEquivalence).
+//
+// Concurrency: the arena is mutated (add/kill) only on the engine's
+// driving goroutine, between pool calls; pool workers only read rows of
+// live ids, which are immutable while the workers run. Counters are plain
+// ints maintained on the driving goroutine.
+
+// distKind enumerates the built-in distances for devirtualized evaluation.
+type distKind uint8
+
+const (
+	distCustom distKind = iota // user-supplied: dispatch through the interface
+	distD1
+	distD2
+	distD3
+	distD4
+	distNC
+)
+
+// resolveDistKind classifies a Distance once, at engine construction, so
+// the hot loop never touches the interface for the built-in distances. The
+// D4 epsilon default (0.1) is resolved here too.
+func resolveDistKind(d Distance) (distKind, float64) {
+	switch d := d.(type) {
+	case D1:
+		return distD1, 0
+	case D2:
+		return distD2, 0
+	case D3:
+		return distD3, 0
+	case D4:
+		eps := d.Epsilon
+		if eps == 0 {
+			eps = 0.1
+		}
+		return distD4, eps
+	case NC:
+		return distNC, 0
+	default:
+		return distCustom, 0
+	}
+}
+
+// kernel is the flat distance kernel of one engine run.
+type kernel struct {
+	s *Space
+	r int // NumAttrs, the arena row stride
+
+	kind   distKind
+	eps    float64  // resolved D4 epsilon
+	custom Distance // interface fallback for distCustom
+
+	// Per-attribute fused LCA-cost tables and raw LCA tables (shared,
+	// read-only; nil entries fall back to walk-up) and node counts (the
+	// table row stride).
+	fused     [][]float64
+	lcaTabs   [][]int32
+	nn        []int
+	tabled    int  // attributes served by a fused table
+	walked    int  // attributes on the walk-up fallback
+	allTabled bool // tabled == r: the branch-free inner loop applies
+
+	// Closure arena: rows holds one stride-r row per slot; rowOf maps a
+	// cluster id to its slot offset (id*0 — slots are recycled, ids are
+	// not). cost and size are per-id flat arrays.
+	rows  []int32
+	rowOf []int32
+	cost  []float64
+	size  []int32
+	free  []int32 // recycled slot indices, LIFO
+
+	// scratch is the stride-r merge buffer, reused across merges.
+	scratch []int32
+
+	// logTab[i] = math.Log(float64(i)) for every reachable union size
+	// (≤ the table's record count), filled by reserve. D3 divides by
+	// log|A∪B| on every evaluation — with the table that is one load
+	// instead of a libm call, bit-identical because math.Log is a pure
+	// function of its input.
+	logTab []float64
+
+	// Arena occupancy counters (driving goroutine only).
+	reuses   int64
+	peakRows int
+}
+
+// newKernel builds the kernel for one engine run over s, resolving the
+// distance once and attaching the space's shared fused tables.
+func newKernel(s *Space, d Distance) *kernel {
+	k := &kernel{s: s, r: s.NumAttrs(), custom: d}
+	k.kind, k.eps = resolveDistKind(d)
+	k.fused = s.fusedTables()
+	k.lcaTabs = make([][]int32, k.r)
+	k.nn = make([]int, k.r)
+	for j, h := range s.Hiers {
+		k.lcaTabs[j] = h.LCATable()
+		k.nn[j] = h.NumNodes()
+		if k.fused[j] != nil {
+			k.tabled++
+		} else {
+			k.walked++
+		}
+	}
+	k.allTabled = k.tabled == k.r
+	k.scratch = make([]int32, k.r)
+	return k
+}
+
+// reserve pre-sizes the per-id arrays for ids clusters and fills the log
+// table for unions of up to n records, avoiding regrowth churn during the
+// initial singleton build.
+func (k *kernel) reserve(ids, n int) {
+	if cap(k.rowOf) < ids {
+		k.rowOf = make([]int32, 0, ids)
+		k.cost = make([]float64, 0, ids)
+		k.size = make([]int32, 0, ids)
+		k.rows = make([]int32, 0, ids*k.r)
+	}
+	if len(k.logTab) < n+1 {
+		k.logTab = make([]float64, n+1)
+		for i := 1; i <= n; i++ {
+			k.logTab[i] = math.Log(float64(i))
+		}
+	}
+}
+
+// alloc appends the per-id entries for id (which must be len(rowOf), the
+// engine's next push id) and returns its row, recycling a freed slot when
+// one exists.
+func (k *kernel) alloc(id int, cost float64, size int32) []int32 {
+	if id != len(k.rowOf) {
+		panic("cluster: kernel ids must be allocated in push order")
+	}
+	var slot int32
+	if n := len(k.free); n > 0 {
+		slot = k.free[n-1]
+		k.free = k.free[:n-1]
+		k.reuses++
+	} else {
+		slot = int32(len(k.rows) / k.r)
+		k.rows = append(k.rows, make([]int32, k.r)...)
+		if rows := len(k.rows) / k.r; rows > k.peakRows {
+			k.peakRows = rows
+		}
+	}
+	k.rowOf = append(k.rowOf, slot)
+	k.cost = append(k.cost, cost)
+	k.size = append(k.size, size)
+	return k.row(id)
+}
+
+// row returns cluster id's closure row. Valid only while id is live (or,
+// transiently, until the next alloc after its kill).
+func (k *kernel) row(id int) []int32 {
+	base := int(k.rowOf[id]) * k.r
+	return k.rows[base : base+k.r : base+k.r]
+}
+
+// kill returns id's arena slot to the free list for reuse by a later push.
+func (k *kernel) kill(id int) {
+	k.free = append(k.free, k.rowOf[id])
+}
+
+// addSingleton allocates id as the singleton cluster of record rec: its
+// closure row is the record's leaf nodes and its cost the same
+// ascending-attribute sum NewSingleton computes.
+func (k *kernel) addSingleton(id int, rec table.Record) {
+	sum := 0.0
+	for j, v := range rec {
+		sum += k.s.costs[j][v]
+	}
+	row := k.alloc(id, sum/float64(k.r), 1)
+	for j, v := range rec {
+		row[j] = int32(v)
+	}
+}
+
+// addMerged allocates id with the given closure row (copied), cost and
+// size — the merge result staged in mergeScratch.
+func (k *kernel) addMerged(id int, row []int32, cost float64, size int) {
+	copy(k.alloc(id, cost, int32(size)), row)
+}
+
+// lcaNode resolves LCA(u, v) for attribute j through the dense table when
+// present, else by walk-up.
+func (k *kernel) lcaNode(j, u, v int) int {
+	if t := k.lcaTabs[j]; t != nil {
+		return int(t[u*k.nn[j]+v])
+	}
+	return k.s.Hiers[j].LCA(u, v)
+}
+
+// lcaCost resolves cost(LCA(u, v)) for attribute j: one fused-table load,
+// or the walk-up fallback.
+func (k *kernel) lcaCost(j, u, v int) float64 {
+	if t := k.fused[j]; t != nil {
+		return t[u*k.nn[j]+v]
+	}
+	return k.s.costs[j][k.s.Hiers[j].LCA(u, v)]
+}
+
+// costAt is the per-node cost lookup (same table the reference CostAt
+// reads).
+func (k *kernel) costAt(j, node int) float64 { return k.s.costs[j][node] }
+
+// mergeScratch computes the merge of live clusters a and b into the
+// kernel's scratch row and returns it with the merged cost and size. The
+// caller must consume the row before the next mergeScratch call.
+func (k *kernel) mergeScratch(a, b int) (row []int32, cost float64, size int) {
+	ra, rb := k.row(a), k.row(b)
+	sum := 0.0
+	for j := 0; j < k.r; j++ {
+		node := k.lcaNode(j, int(ra[j]), int(rb[j]))
+		k.scratch[j] = int32(node)
+		sum += k.s.costs[j][node]
+	}
+	return k.scratch, sum / float64(k.r), int(k.size[a]) + int(k.size[b])
+}
+
+// dist evaluates dist(A, B) for live cluster ids a and b: two contiguous
+// arena rows, one fused-table load per attribute, and the devirtualized
+// eval. It reads only immutable-while-scanning state and is safe to call
+// from pool workers.
+func (k *kernel) dist(a, b int) float64 {
+	ra, rb := k.row(a), k.row(b)
+	sum := 0.0
+	if k.allTabled {
+		for j, t := range k.fused {
+			sum += t[int(ra[j])*k.nn[j]+int(rb[j])]
+		}
+	} else {
+		for j := 0; j < k.r; j++ {
+			if t := k.fused[j]; t != nil {
+				sum += t[int(ra[j])*k.nn[j]+int(rb[j])]
+			} else {
+				sum += k.s.costs[j][k.s.Hiers[j].LCA(int(ra[j]), int(rb[j]))]
+			}
+		}
+	}
+	dU := sum / float64(k.r)
+	sa, sb := int(k.size[a]), int(k.size[b])
+	return k.eval(sa, sb, sa+sb, k.cost[a], k.cost[b], dU)
+}
+
+// pushSingletonK pushes record i as a singleton cluster in kernel mode:
+// its closure row (the record's leaves) and cost go straight into the
+// arena with no per-cluster heap allocation, and its member chain is the
+// single record.
+func (e *aggloEngine) pushSingletonK(i int) int {
+	id := e.push(nil)
+	e.kern.addSingleton(id, e.tbl.Records[i])
+	e.mHead = append(e.mHead, int32(i))
+	e.mTail = append(e.mTail, int32(i))
+	e.mNext[i] = -1
+	return id
+}
+
+// mergeK is the kernel-mode merge step: it stages the merged closure in
+// the kernel's scratch row, concatenates the member chains in O(1), kills
+// a and b, and then either finalizes the merged cluster (materializing the
+// one *Cluster the output needs, with the Algorithm 2 shrink when
+// enabled) or pushes it as a new live id — reusing a freed arena slot. It
+// returns the newborn ids appended to added, plus the merged size.
+func (e *aggloEngine) mergeK(a, b int, added []int) ([]int, int) {
+	row, cost, size := e.kern.mergeScratch(a, b)
+	head, tail := e.mHead[a], e.mTail[b]
+	e.mNext[e.mTail[a]] = e.mHead[b]
+	e.kill(a)
+	e.kill(b)
+	if size >= e.opt.K && e.chainDiverseEnoughK(head) {
+		c := e.materializeK(row, cost, head, size)
+		if e.opt.Modified && size > e.opt.K {
+			removed := e.shrinkK(c)
+			for _, ri := range removed {
+				added = append(added, e.pushSingletonK(ri))
+			}
+		}
+		e.final = append(e.final, c)
+	} else {
+		id := e.push(nil)
+		e.kern.addMerged(id, row, cost, size)
+		e.mHead = append(e.mHead, head)
+		e.mTail = append(e.mTail, tail)
+		added = append(added, id)
+	}
+	return added, size
+}
+
+// materializeK builds the one heap *Cluster a final cluster needs from a
+// staged closure row and a member chain.
+func (e *aggloEngine) materializeK(row []int32, cost float64, head int32, size int) *Cluster {
+	members := make([]int, 0, size)
+	for ri := head; ri >= 0; ri = e.mNext[ri] {
+		members = append(members, int(ri))
+	}
+	cl := make(table.GenRecord, e.kern.r)
+	for j, node := range row {
+		cl[j] = int(node)
+	}
+	return &Cluster{Closure: cl, Members: members, Cost: cost}
+}
+
+// chainDiverseEnoughK is diverseEnough over a member chain.
+func (e *aggloEngine) chainDiverseEnoughK(head int32) bool {
+	if e.opt.MinDiversity <= 1 {
+		return true
+	}
+	seen := make(map[int]bool, e.opt.MinDiversity)
+	for ri := head; ri >= 0; ri = e.mNext[ri] {
+		seen[e.opt.Sensitive[ri]] = true
+		if len(seen) >= e.opt.MinDiversity {
+			return true
+		}
+	}
+	return false
+}
+
+// shrinkK is the kernel-mode Algorithm 2 shrink. The reference shrink
+// rebuilds a fresh rest-cluster per candidate eviction — O(|c|²·r) per
+// round with a NewCluster allocation per candidate. Here each round
+// precomputes prefix and suffix closures over the member list into two
+// reusable scratch slabs (closure is a semilattice join, so
+// prefix[i] ∨ suffix[i+1] is exactly the closure of the rest set), making
+// a round O(|c|·r) with zero allocations. Candidate order, the strict
+// d > bestD tie-break, the diversity-skip condition and every float64
+// summation order match the reference bit for bit.
+func (e *aggloEngine) shrinkK(c *Cluster) []int {
+	k := e.kern
+	r := k.r
+	var removed []int
+	// Distinct-value counts for the ℓ-diversity eviction gate, maintained
+	// incrementally across rounds: evicting x is inadmissible iff it would
+	// drop the distinct count below MinDiversity.
+	distinct := 0
+	counts := e.shrinkCounts
+	if e.opt.MinDiversity > 1 {
+		if counts == nil {
+			counts = make(map[int]int)
+			e.shrinkCounts = counts
+		}
+		clear(counts)
+		for _, ri := range c.Members {
+			v := e.opt.Sensitive[ri]
+			if counts[v] == 0 {
+				distinct++
+			}
+			counts[v]++
+		}
+	}
+	for len(c.Members) > e.opt.K {
+		m := len(c.Members)
+		need := (m + 1) * r
+		if cap(e.shrinkPre) < need {
+			e.shrinkPre = make([]int32, need)
+			e.shrinkSuf = make([]int32, need)
+		}
+		pre := e.shrinkPre[:need]
+		suf := e.shrinkSuf[:need]
+		// pre[i·r..] is the closure of members[0..i) (defined for i ≥ 1),
+		// suf[i·r..] the closure of members[i..m) (defined for i ≤ m−1);
+		// the join has no identity element, so the boundaries are explicit.
+		rec := e.tbl.Records[c.Members[0]]
+		for j := 0; j < r; j++ {
+			pre[r+j] = int32(rec[j])
+		}
+		for i := 2; i <= m; i++ {
+			rec := e.tbl.Records[c.Members[i-1]]
+			prev, cur := pre[(i-1)*r:i*r], pre[i*r:(i+1)*r]
+			for j := 0; j < r; j++ {
+				cur[j] = int32(k.lcaNode(j, int(prev[j]), rec[j]))
+			}
+		}
+		rec = e.tbl.Records[c.Members[m-1]]
+		for j := 0; j < r; j++ {
+			suf[(m-1)*r+j] = int32(rec[j])
+		}
+		for i := m - 2; i >= 0; i-- {
+			rec := e.tbl.Records[c.Members[i]]
+			next, cur := suf[(i+1)*r:(i+2)*r], suf[i*r:(i+1)*r]
+			for j := 0; j < r; j++ {
+				cur[j] = int32(k.lcaNode(j, rec[j], int(next[j])))
+			}
+		}
+
+		bestIdx, bestD := -1, math.Inf(-1)
+		evals := int64(0)
+		for mi := 0; mi < m; mi++ {
+			if e.opt.MinDiversity > 1 {
+				d := distinct
+				if counts[e.opt.Sensitive[c.Members[mi]]] == 1 {
+					d--
+				}
+				if d < e.opt.MinDiversity {
+					continue
+				}
+			}
+			sum := 0.0
+			switch {
+			case mi == 0:
+				for j := 0; j < r; j++ {
+					sum += k.costAt(j, int(suf[r+j]))
+				}
+			case mi == m-1:
+				for j := 0; j < r; j++ {
+					sum += k.costAt(j, int(pre[(m-1)*r+j]))
+				}
+			default:
+				for j := 0; j < r; j++ {
+					sum += k.lcaCost(j, int(pre[mi*r+j]), int(suf[(mi+1)*r+j]))
+				}
+			}
+			restCost := sum / float64(r)
+			// dist(Ŝ, Ŝ\{R̂_i}): the union of the two sets is Ŝ itself.
+			d := k.eval(m, m-1, m, c.Cost, restCost, c.Cost)
+			evals++
+			if d > bestD {
+				bestIdx, bestD = mi, d
+			}
+		}
+		e.distEvals.Add(evals)
+		e.shrinkEvals += evals
+		if bestIdx < 0 {
+			break // every eviction would break diversity
+		}
+		evicted := c.Members[bestIdx]
+		removed = append(removed, evicted)
+		if e.opt.MinDiversity > 1 {
+			v := e.opt.Sensitive[evicted]
+			counts[v]--
+			if counts[v] == 0 {
+				distinct--
+			}
+		}
+		// Commit the winning rest set: its closure replaces c's, its cost
+		// is the same ascending-attribute sum s.Cost computes.
+		switch {
+		case bestIdx == 0:
+			for j := 0; j < r; j++ {
+				c.Closure[j] = int(suf[r+j])
+			}
+		case bestIdx == m-1:
+			for j := 0; j < r; j++ {
+				c.Closure[j] = int(pre[(m-1)*r+j])
+			}
+		default:
+			for j := 0; j < r; j++ {
+				c.Closure[j] = k.lcaNode(j, int(pre[bestIdx*r+j]), int(suf[(bestIdx+1)*r+j]))
+			}
+		}
+		sum := 0.0
+		for j := 0; j < r; j++ {
+			sum += k.costAt(j, c.Closure[j])
+		}
+		c.Cost = sum / float64(r)
+		c.Members = append(c.Members[:bestIdx], c.Members[bestIdx+1:]...)
+	}
+	return removed
+}
+
+// absorbK is the kernel-mode leftover absorption: the candidate sweep over
+// the final clusters runs through the fused tables and the devirtualized
+// eval, with no singleton construction.
+func (e *aggloEngine) absorbK(ri int) {
+	k := e.kern
+	r := k.r
+	rec := e.tbl.Records[ri]
+	sum := 0.0
+	for j := 0; j < r; j++ {
+		sum += k.costAt(j, rec[j])
+	}
+	sCost := sum / float64(r)
+	bestIdx, bestD := -1, math.Inf(1)
+	for fi, f := range e.final {
+		sum := 0.0
+		for j := 0; j < r; j++ {
+			sum += k.lcaCost(j, rec[j], f.Closure[j])
+		}
+		dU := sum / float64(r)
+		d := k.eval(1, f.Size(), 1+f.Size(), sCost, f.Cost, dU)
+		if d < bestD {
+			bestIdx, bestD = fi, d
+		}
+	}
+	e.distEvals.Add(int64(len(e.final)))
+	if bestIdx < 0 {
+		// No final cluster exists (excluded by the k ≤ n guard, but stay
+		// safe): promote the singleton.
+		cl := make(table.GenRecord, r)
+		copy(cl, rec)
+		e.final = append(e.final, &Cluster{Closure: cl, Members: []int{ri}, Cost: sCost})
+		return
+	}
+	f := e.final[bestIdx]
+	f.Members = append(f.Members, ri)
+	for j := 0; j < r; j++ {
+		f.Closure[j] = k.lcaNode(j, f.Closure[j], rec[j])
+	}
+	sum = 0.0
+	for j := 0; j < r; j++ {
+		sum += k.costAt(j, f.Closure[j])
+	}
+	f.Cost = sum / float64(r)
+}
+
+// eval is the devirtualized Distance.Eval: a switch over the built-in
+// distances repeating the distance.go formulas verbatim (so results are
+// bit-identical to the interface path), with the interface dispatch kept
+// only for user-supplied distances.
+func (k *kernel) eval(sa, sb, su int, dA, dB, dU float64) float64 {
+	switch k.kind {
+	case distD1:
+		return float64(su)*dU - float64(sa)*dA - float64(sb)*dB
+	case distD2:
+		return dU - dA - dB
+	case distD3:
+		var den float64
+		if su >= 0 && su < len(k.logTab) {
+			den = k.logTab[su]
+		} else {
+			den = math.Log(float64(su))
+		}
+		if den <= 0 {
+			return dU - dA - dB
+		}
+		return (dU - dA - dB) / den
+	case distD4:
+		return dU / (dA + dB + k.eps)
+	case distNC:
+		return dU - dB
+	default:
+		return k.custom.Eval(sa, sb, su, dA, dB, dU)
+	}
+}

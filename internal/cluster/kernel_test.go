@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/loss"
+	"kanon/internal/obs"
+	"kanon/internal/table"
+)
+
+// kernelEquivalenceN sizes the kernel-vs-reference matrix; the full size
+// dominates the test's runtime, so -short trims it.
+func kernelEquivalenceN(t *testing.T) int {
+	if testing.Short() {
+		return 120
+	}
+	return 300
+}
+
+// TestKernelEquivalenceMatrix is the PR's central acceptance check: for
+// every built-in distance, both algorithms and both worker counts, the
+// flat-kernel engine must produce the byte-identical clustering of the
+// reference (NoKernel) engine — same clusters, members, closures and
+// bit-equal float64 costs.
+func TestKernelEquivalenceMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s, tbl := randomSpace(t, rng, kernelEquivalenceN(t))
+	for _, d := range AllDistances() {
+		for _, modified := range []bool{false, true} {
+			ref, err := Agglomerate(s, tbl, AggloOptions{
+				K: 5, Distance: d, Modified: modified, Workers: 1, NoKernel: true,
+			})
+			if err != nil {
+				t.Fatalf("%s reference: %v", d.Name(), err)
+			}
+			for _, workers := range []int{1, 4} {
+				label := fmt.Sprintf("%s modified=%v workers=%d", d.Name(), modified, workers)
+				got, err := Agglomerate(s, tbl, AggloOptions{
+					K: 5, Distance: d, Modified: modified, Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				assertSameClustering(t, label, ref, got)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceAdult repeats the equivalence check on the Adult
+// census generator — deeper hierarchies and the entropy measure, i.e. the
+// cost tables the benchmarks run on.
+func TestKernelEquivalenceAdult(t *testing.T) {
+	s, tbl := adultSpace(t, kernelEquivalenceN(t))
+	for _, d := range []Distance{D1{}, D3{}, D4{Epsilon: 0.25}} {
+		for _, modified := range []bool{false, true} {
+			ref, err := Agglomerate(s, tbl, AggloOptions{
+				K: 10, Distance: d, Modified: modified, Workers: 1, NoKernel: true,
+			})
+			if err != nil {
+				t.Fatalf("%s reference: %v", d.Name(), err)
+			}
+			for _, workers := range []int{1, 4} {
+				label := fmt.Sprintf("adult %s modified=%v workers=%d", d.Name(), modified, workers)
+				got, err := Agglomerate(s, tbl, AggloOptions{
+					K: 10, Distance: d, Modified: modified, Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				assertSameClustering(t, label, ref, got)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceDiverse exercises the kernel's diversity legs: the
+// member-chain diversity gate of mergeK and the incremental distinct-count
+// bookkeeping of shrinkK must reproduce the reference's decisions exactly.
+func TestKernelEquivalenceDiverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s, tbl := randomSpace(t, rng, kernelEquivalenceN(t))
+	sensitive := make([]int, tbl.Len())
+	for i := range sensitive {
+		sensitive[i] = rng.Intn(4)
+	}
+	for _, modified := range []bool{false, true} {
+		ref, err := Agglomerate(s, tbl, AggloOptions{
+			K: 6, Distance: D3{}, Modified: modified,
+			MinDiversity: 3, Sensitive: sensitive, Workers: 1, NoKernel: true,
+		})
+		if err != nil {
+			t.Fatalf("reference modified=%v: %v", modified, err)
+		}
+		for _, workers := range []int{1, 4} {
+			label := fmt.Sprintf("diverse modified=%v workers=%d", modified, workers)
+			got, err := Agglomerate(s, tbl, AggloOptions{
+				K: 6, Distance: D3{}, Modified: modified,
+				MinDiversity: 3, Sensitive: sensitive, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			assertSameClustering(t, label, ref, got)
+		}
+	}
+}
+
+// overBudgetSpace builds a space whose first attribute has more nodes than
+// the dense-table budget admits (NumNodes² > hierarchy.LCATableBudget), so
+// the kernel must keep the walk-up path for it, alongside a small tabled
+// attribute.
+func overBudgetSpace(t *testing.T, rng *rand.Rand, n int) (*Space, *table.Table) {
+	t.Helper()
+	const wide = 2080 // 2080 leaves + 1040 intervals + root = 3121 nodes; 3121² > 1<<22
+	hw, err := hierarchy.Intervals(wide, []int{2}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.NumNodes()*hw.NumNodes() <= hierarchy.LCATableBudget {
+		t.Fatalf("test hierarchy not over budget: %d nodes", hw.NumNodes())
+	}
+	names := make([]string, wide)
+	for i := range names {
+		names[i] = fmt.Sprint(i)
+	}
+	schema := table.MustSchema(
+		table.MustAttribute("wide", names),
+		table.MustAttribute("b", []string{"x", "y", "z", "w"}),
+	)
+	tbl := table.New(schema)
+	for i := 0; i < n; i++ {
+		tbl.MustAppend(table.Record{rng.Intn(wide), rng.Intn(4)})
+	}
+	hb, err := hierarchy.FromSubsets(4, []hierarchy.Subset{{Values: []int{0, 1}}, {Values: []int{2, 3}}}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiers := []*hierarchy.Hierarchy{hw, hb}
+	s, err := NewSpace(hiers, loss.NewLM(hiers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tbl
+}
+
+// TestKernelForcedFallback forces the over-budget walk-up path: the wide
+// attribute gets no fused table, so the kernel runs mixed tabled/walked —
+// and must still match the reference exactly.
+func TestKernelForcedFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, tbl := overBudgetSpace(t, rng, 150)
+	k := newKernel(s, D3{})
+	if k.walked != 1 || k.tabled != 1 || k.allTabled {
+		t.Fatalf("kernel shape: walked=%d tabled=%d allTabled=%v, want 1/1/false", k.walked, k.tabled, k.allTabled)
+	}
+	for _, modified := range []bool{false, true} {
+		ref, err := Agglomerate(s, tbl, AggloOptions{
+			K: 5, Distance: D3{}, Modified: modified, Workers: 1, NoKernel: true,
+		})
+		if err != nil {
+			t.Fatalf("reference modified=%v: %v", modified, err)
+		}
+		for _, workers := range []int{1, 4} {
+			label := fmt.Sprintf("fallback modified=%v workers=%d", modified, workers)
+			got, err := Agglomerate(s, tbl, AggloOptions{
+				K: 5, Distance: D3{}, Modified: modified, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			assertSameClustering(t, label, ref, got)
+		}
+	}
+}
+
+// slowD2 is a user-supplied distance (numerically D2) that the kernel
+// cannot devirtualize: it must take the distCustom interface path and still
+// agree with the reference engine.
+type slowD2 struct{}
+
+func (slowD2) Name() string { return "slow-d2" }
+func (slowD2) Eval(sa, sb, su int, dA, dB, dU float64) float64 {
+	return dU - dA - dB
+}
+
+// TestKernelCustomDistance pins the interface fallback: a distance type the
+// resolver does not know keeps working through the kernel's arena while
+// dispatching Eval through the interface.
+func TestKernelCustomDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	s, tbl := randomSpace(t, rng, 150)
+	if kind, _ := resolveDistKind(slowD2{}); kind != distCustom {
+		t.Fatalf("resolveDistKind(slowD2) = %d, want distCustom", kind)
+	}
+	ref, err := Agglomerate(s, tbl, AggloOptions{K: 5, Distance: slowD2{}, Workers: 1, NoKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Agglomerate(s, tbl, AggloOptions{K: 5, Distance: slowD2{}, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameClustering(t, "custom distance", ref, got)
+	// And the numerically-equal built-in must agree with it too.
+	builtin, err := Agglomerate(s, tbl, AggloOptions{K: 5, Distance: D2{}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameClustering(t, "custom vs builtin d2", ref, builtin)
+}
+
+// TestResolveDistKind pins the distance → kind mapping, including the D4
+// epsilon defaulting that must match D4.Eval's own default.
+func TestResolveDistKind(t *testing.T) {
+	cases := []struct {
+		d    Distance
+		kind distKind
+		eps  float64
+	}{
+		{D1{}, distD1, 0},
+		{D2{}, distD2, 0},
+		{D3{}, distD3, 0},
+		{D4{}, distD4, 0.1},
+		{D4{Epsilon: 0.5}, distD4, 0.5},
+		{NC{}, distNC, 0},
+		{slowD2{}, distCustom, 0},
+	}
+	for _, c := range cases {
+		kind, eps := resolveDistKind(c.d)
+		if kind != c.kind || eps != c.eps {
+			t.Errorf("resolveDistKind(%s) = (%d, %v), want (%d, %v)", c.d.Name(), kind, eps, c.kind, c.eps)
+		}
+	}
+}
+
+// TestKernelCounters checks the kernel's observability: a kernel run
+// reports its table-hit/walk split, arena occupancy peak and slot reuses;
+// a NoKernel run reports none of them.
+func TestKernelCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, tbl := randomSpace(t, rng, 200)
+	run := func(noKernel bool) obs.RunStats {
+		met := obs.NewMetrics()
+		ctx := obs.With(context.Background(), met)
+		if _, err := AgglomerateCtx(ctx, s, tbl, AggloOptions{
+			K: 5, Distance: D3{}, Modified: true, Workers: 2, NoKernel: noKernel,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return met.Snapshot()
+	}
+	st := run(false)
+	if st.Counter(obs.CounterKernelTableHits) == 0 {
+		t.Errorf("kernel run reported no table hits: %v", st.Counters)
+	}
+	if st.Counter(obs.CounterKernelFallbackWalks) != 0 {
+		t.Errorf("fully-tabled space reported fallback walks: %v", st.Counters)
+	}
+	if peak := st.Peaks[obs.PeakKernelArenaRows]; peak == 0 || peak > int64(2*tbl.Len()) {
+		t.Errorf("arena peak %d out of range (0, %d]", peak, 2*tbl.Len())
+	}
+	if st.Counter(obs.CounterKernelArenaReuses) == 0 {
+		t.Errorf("merge-heavy run reused no arena slots: %v", st.Counters)
+	}
+	off := run(true)
+	for _, name := range []string{obs.CounterKernelTableHits, obs.CounterKernelFallbackWalks, obs.CounterKernelArenaReuses} {
+		if off.Counter(name) != 0 {
+			t.Errorf("NoKernel run reported kernel counter %s = %d", name, off.Counter(name))
+		}
+	}
+}
+
+// TestKernelArenaPushOrder pins the arena's id discipline: ids must be
+// allocated in push order, anything else is a bug worth a loud panic.
+func TestKernelArenaPushOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s, tbl := randomSpace(t, rng, 4)
+	k := newKernel(s, D3{})
+	k.reserve(8, 4)
+	k.addSingleton(0, tbl.Records[0])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order alloc did not panic")
+		}
+	}()
+	k.addSingleton(2, tbl.Records[1])
+}

@@ -72,6 +72,10 @@ type KAnonOptions struct {
 	// sequential path, 0 sizes the pool to the machine. Any worker count
 	// produces the identical output.
 	Workers int
+	// NoKernel disables the engine's flat distance kernel, forcing the
+	// reference evaluation path (see cluster.AggloOptions.NoKernel). The
+	// output is identical either way.
+	NoKernel bool
 }
 
 // KAnonymize runs the (basic or modified) agglomerative algorithm and
@@ -110,6 +114,7 @@ func KAnonymizeStatsCtx(ctx context.Context, s *cluster.Space, tbl *table.Table,
 		Distance: dist,
 		Modified: opt.Modified,
 		Workers:  opt.Workers,
+		NoKernel: opt.NoKernel,
 	})
 	if err != nil {
 		return nil, nil, stats, err

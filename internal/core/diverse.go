@@ -41,6 +41,7 @@ func KAnonymizeDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Tabl
 		MinDiversity: l,
 		Sensitive:    sensitive,
 		Workers:      opt.Workers,
+		NoKernel:     opt.NoKernel,
 	})
 	if err != nil {
 		return nil, nil, err

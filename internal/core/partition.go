@@ -23,6 +23,9 @@ type PartitionedOptions struct {
 	MaxChunk int
 	// Workers caps each chunk engine's worker pool (see KAnonOptions.Workers).
 	Workers int
+	// NoKernel disables the chunk engines' flat distance kernel (see
+	// cluster.AggloOptions.NoKernel).
+	NoKernel bool
 }
 
 // KAnonymizePartitioned addresses the paper's Section VII call for "more
@@ -87,6 +90,7 @@ func KAnonymizePartitionedCtx(ctx context.Context, s *cluster.Space, tbl *table.
 			Distance: dist,
 			Modified: opt.Modified,
 			Workers:  opt.Workers,
+			NoKernel: opt.NoKernel,
 		})
 		if err != nil {
 			return nil, nil, err

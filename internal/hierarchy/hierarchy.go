@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Hierarchy is the generalization hierarchy of a single attribute. Nodes are
@@ -48,7 +49,19 @@ type Hierarchy struct {
 	labels []string
 
 	height int // max depth of any leaf
+
+	// Dense LCA table, built lazily by LCATable (guarded by lcaOnce): entry
+	// u*NumNodes()+v is LCA(u, v). Nil when NumNodes()² exceeds
+	// LCATableBudget — consumers then fall back to the walk-up LCA.
+	lcaOnce sync.Once
+	lcaTab  []int32
 }
+
+// LCATableBudget caps the dense LCA table at 1<<22 entries per hierarchy
+// (16 MiB of int32): beyond ~2048 nodes LCATable returns nil and callers
+// keep the O(height) walk-up path. The budget bounds the precomputation
+// memory of the flat distance kernel (internal/cluster) per attribute.
+const LCATableBudget = 1 << 22
 
 // NumValues returns the number of leaf values in the hierarchy (|A_j|).
 func (h *Hierarchy) NumValues() int { return h.numValues }
@@ -137,6 +150,35 @@ func (h *Hierarchy) LCA(u, v int) int {
 		v = h.parent[v]
 	}
 	return u
+}
+
+// LCATable returns the dense nodes×nodes LCA table — entry u*NumNodes()+v
+// is LCA(u, v) — or nil when NumNodes()² exceeds LCATableBudget. The table
+// is built on first use, cached for the hierarchy's lifetime, and safe for
+// concurrent callers; it must not be modified. The flat distance kernel
+// (internal/cluster) turns every inner-loop LCA into one load through it.
+func (h *Hierarchy) LCATable() []int32 {
+	n := h.NumNodes()
+	if n*n > LCATableBudget {
+		return nil
+	}
+	h.lcaOnce.Do(func() {
+		tab := make([]int32, n*n)
+		// Fill the upper triangle by walk-up and mirror it: LCA is
+		// symmetric, the diagonal is the identity, and every walk is
+		// O(height), so the one-time build is O(nodes²·height) on trees
+		// that are only a handful of levels deep.
+		for u := 0; u < n; u++ {
+			tab[u*n+u] = int32(u)
+			for v := u + 1; v < n; v++ {
+				l := int32(h.LCA(u, v))
+				tab[u*n+v] = l
+				tab[v*n+u] = l
+			}
+		}
+		h.lcaTab = tab
+	})
+	return h.lcaTab
 }
 
 // Closure returns the minimal permissible subset containing all the given

@@ -484,3 +484,49 @@ func TestCompareSets(t *testing.T) {
 		}
 	}
 }
+
+// TestLCATableMatchesWalk checks the dense LCA table against the walk-up
+// LCA on every node pair of the paper's A6 hierarchy and of an interval
+// hierarchy, and that repeated calls return the same cached slice.
+func TestLCATableMatchesWalk(t *testing.T) {
+	hi, err := Intervals(16, []int{2, 8}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*Hierarchy{paperA6(t), hi} {
+		tab := h.LCATable()
+		n := h.NumNodes()
+		if tab == nil {
+			t.Fatalf("LCATable nil for %d nodes (budget %d)", n, LCATableBudget)
+		}
+		if len(tab) != n*n {
+			t.Fatalf("LCATable has %d entries, want %d", len(tab), n*n)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if got, want := int(tab[u*n+v]), h.LCA(u, v); got != want {
+					t.Fatalf("table LCA(%d, %d) = %d, walk-up = %d", u, v, got, want)
+				}
+			}
+		}
+		if again := h.LCATable(); &again[0] != &tab[0] {
+			t.Error("LCATable rebuilt on second call; want the cached slice")
+		}
+	}
+}
+
+// TestLCATableOverBudget checks that a hierarchy whose nodes² exceeds
+// LCATableBudget declines to build the dense table — the kernel's cue to
+// keep the walk-up path.
+func TestLCATableOverBudget(t *testing.T) {
+	h, err := Intervals(2080, []int{2}, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := h.NumNodes(); n*n <= LCATableBudget {
+		t.Fatalf("test hierarchy under budget: %d nodes", n)
+	}
+	if tab := h.LCATable(); tab != nil {
+		t.Fatalf("LCATable returned %d entries for an over-budget hierarchy, want nil", len(tab))
+	}
+}

@@ -106,6 +106,27 @@ func (k Kind) String() string {
 	}
 }
 
+// Counter and gauge names emitted by the flat distance kernel of the
+// agglomerative engine (internal/cluster, DESIGN.md §12). All four are
+// worker-count invariant: table hits and fallback walks are derived from
+// the deterministic distance-evaluation count, and the arena is mutated
+// only on the engine's driving goroutine.
+const (
+	// CounterKernelTableHits counts per-attribute LCA-cost resolutions
+	// served by the precomputed fused tables (one memory load each).
+	CounterKernelTableHits = "cluster.kernel.table_hits"
+	// CounterKernelFallbackWalks counts per-attribute LCA-cost resolutions
+	// that fell back to the walk-up path because the attribute's hierarchy
+	// exceeded the LCA-table memory budget.
+	CounterKernelFallbackWalks = "cluster.kernel.fallback_walks"
+	// CounterKernelArenaReuses counts closure-arena slots recycled from
+	// killed clusters by later pushes.
+	CounterKernelArenaReuses = "cluster.kernel.arena_reuses"
+	// PeakKernelArenaRows is the closure arena's high-water row count
+	// (KindPeak): the maximum number of live-cluster closures it held.
+	PeakKernelArenaRows = "cluster.kernel.arena_rows"
+)
+
 // Event is one structured run event. Events are plain values: recording one
 // never allocates on the emitting side.
 type Event struct {

@@ -273,6 +273,11 @@ type Options struct {
 	// the sequential paths, 0 (the default) sizes the pools to the machine.
 	// The output is identical at any worker count.
 	Workers int
+	// NoKernel disables the flat distance kernel of the agglomerative
+	// engine (the `-kernel=off` escape hatch of cmd/kanon), forcing the
+	// reference evaluation path. The output is identical either way; only
+	// speed differs.
+	NoKernel bool
 	// Observer, when non-nil, receives the run's structured event stream
 	// (phase boundaries, merges, scans, augmentations, chunks — see the
 	// Event* constants). It must be safe for concurrent use: the parallel
@@ -373,7 +378,7 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 			distName = "d3"
 		}
 		dist := cluster.DistanceByName(distName)
-		kopt := core.KAnonOptions{K: opt.K, Distance: dist, Modified: opt.Modified, Workers: opt.Workers}
+		kopt := core.KAnonOptions{K: opt.K, Distance: dist, Modified: opt.Modified, Workers: opt.Workers, NoKernel: opt.NoKernel}
 		var g *table.GenTable
 		switch {
 		case opt.Diversity >= 2:
@@ -381,7 +386,7 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 		case opt.MaxChunk > 0:
 			g, _, err = core.KAnonymizePartitionedCtx(ctx, s, t.tbl, core.PartitionedOptions{
 				K: opt.K, Distance: dist, Modified: opt.Modified, MaxChunk: opt.MaxChunk,
-				Workers: opt.Workers,
+				Workers: opt.Workers, NoKernel: opt.NoKernel,
 			})
 		default:
 			g, _, err = core.KAnonymizeCtx(ctx, s, t.tbl, kopt)
