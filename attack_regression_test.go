@@ -1,0 +1,129 @@
+package kanon
+
+import "testing"
+
+// attackGolden pins the vulnerable-population counts of one adversarial
+// evaluation. All attacks are deterministic, so any drift here is an
+// algorithmic change: intentional privacy-relevant changes must update
+// the constants (see the update procedure below), unintentional ones are
+// silent privacy regressions — exactly what this harness exists to catch.
+type attackGolden struct {
+	Matching, Refinement, Intersection, Union int
+	MatchingMin                               int // minimum matching candidate-set size
+}
+
+// TestAttackRegression is the attack-regression harness: golden risk
+// numbers per {dataset, algorithm, k} over fixed seeds. It runs in CI
+// under -race (see .github/workflows/ci.yml, job attack-regression).
+//
+// Update procedure: when an intentional change shifts these numbers, set
+// the case's want pointer to nil, run
+//
+//	go test -run TestAttackRegression -v .
+//
+// and copy the logged actuals back into the table. Any increase in a
+// Vulnerable count or decrease in MatchingMin weakens privacy and needs a
+// written justification in the PR description.
+func TestAttackRegression(t *testing.T) {
+	art := ART(250, 12345)
+	adult := Adult(300, 99)
+	cmc := CMC(200, 7)
+	cases := []struct {
+		name string
+		tbl  *Table
+		opt  Options
+		want *attackGolden // nil = bootstrap mode: log actuals
+	}{
+		{"ART-k5-k-anon", art, Options{K: 5, Notion: NotionK},
+			&attackGolden{Matching: 0, Refinement: 0, Intersection: 55, Union: 55, MatchingMin: 5}},
+		// The (k,k) rows document the paper's core finding: (k,k)-anonymity
+		// does NOT defeat the second adversary — the matching attack prunes
+		// 35 of 250 ART records below k (min candidate set 1), while the
+		// global (1,k) upgrade of the same release pins matching at 0.
+		{"ART-k5-kk", art, Options{K: 5, Notion: NotionKK},
+			&attackGolden{Matching: 35, Refinement: 0, Intersection: 36, Union: 66, MatchingMin: 1}},
+		{"ART-k5-global", art, Options{K: 5, Notion: NotionGlobal1K},
+			&attackGolden{Matching: 0, Refinement: 0, Intersection: 29, Union: 29, MatchingMin: 5}},
+		{"ART-k5-k-d1", art, Options{K: 5, Notion: NotionK, Distance: "d1"},
+			&attackGolden{Matching: 0, Refinement: 0, Intersection: 96, Union: 96, MatchingMin: 5}},
+		{"ART-k10-kk", art, Options{K: 10, Notion: NotionKK},
+			&attackGolden{Matching: 5, Refinement: 0, Intersection: 101, Union: 104, MatchingMin: 6}},
+		{"ADT-k6-k-anon", adult, Options{K: 6, Notion: NotionK},
+			&attackGolden{Matching: 0, Refinement: 0, Intersection: 13, Union: 13, MatchingMin: 6}},
+		{"ADT-k6-global", adult, Options{K: 6, Notion: NotionGlobal1K},
+			&attackGolden{Matching: 0, Refinement: 0, Intersection: 89, Union: 89, MatchingMin: 6}},
+		{"CMC-k4-kk", cmc, Options{K: 4, Notion: NotionKK},
+			&attackGolden{Matching: 120, Refinement: 0, Intersection: 94, Union: 149, MatchingMin: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Anonymize(c.tbl, c.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, err := res.AttackEvaluation(c.opt.K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := attackGolden{
+				Matching:     sum.Matching.Vulnerable,
+				Refinement:   sum.Refinement.Vulnerable,
+				Intersection: sum.Intersection.Vulnerable,
+				Union:        sum.VulnerableUnion,
+				MatchingMin:  sum.Matching.MinCandidates,
+			}
+			if c.want == nil {
+				// Bootstrap mode: print the values to fill in.
+				t.Logf("%s: %+v", c.name, got)
+				return
+			}
+			if got != *c.want {
+				t.Errorf("risk numbers drifted (privacy regression?)\n  got  %+v\n  want %+v", got, *c.want)
+			}
+			// Structural invariants that hold regardless of the constants.
+			if sum.Records != c.tbl.Len() {
+				t.Errorf("report covers %d records, want %d", sum.Records, c.tbl.Len())
+			}
+			// Only global (1,k)-anonymity promises safety against the
+			// matching attack (Theorem 4.7 direction); (k,k) releases may
+			// legitimately be breached — that gap is the paper's thesis.
+			if c.opt.Notion == NotionGlobal1K && got.Matching != 0 {
+				t.Errorf("matching attack breached a %s release: %d vulnerable", c.opt.Notion, got.Matching)
+			}
+		})
+	}
+}
+
+// TestAttackRegressionCatchesWeakening proves the harness has teeth: a
+// release that silently provides less privacy than claimed — here a k=2
+// release evaluated against the k=6 it pretends to offer — must report a
+// strictly positive vulnerable population, so the golden comparison above
+// fails loudly rather than certifying the weakened release.
+func TestAttackRegressionCatchesWeakening(t *testing.T) {
+	tbl := ART(120, 3)
+	res, err := Anonymize(tbl, Options{K: 2, Notion: NotionGlobal1K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := res.AttackEvaluation(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Matching.Vulnerable == 0 {
+		t.Error("matching attack failed to flag the under-provisioned release")
+	}
+	if sum.VulnerableUnion == 0 || sum.Score == 0 {
+		t.Errorf("weakened release scored %v with %d vulnerable, want > 0",
+			sum.Score, sum.VulnerableUnion)
+	}
+	// The honest evaluation at the provided k stays clean — global
+	// (1,2)-anonymity guarantees matching candidate sets of size ≥ 2 — so
+	// the signal above is the weakening, not noise.
+	honest, err := res.AttackEvaluation(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if honest.Matching.Vulnerable != 0 {
+		t.Errorf("honest k=2 evaluation reports %d matching-vulnerable", honest.Matching.Vulnerable)
+	}
+}

@@ -39,6 +39,7 @@ func main() {
 		fullDom   = flag.Bool("full-domain", false, "use optimal full-domain (global recoding) generalization (notion=k)")
 		nearest   = flag.Bool("nearest", false, "seed (k,k)/global with Algorithm 3 instead of Algorithm 4")
 		verify    = flag.Bool("verify", false, "verify the output against all notions (quadratic)")
+		attackRpt = flag.Bool("attack", false, "run the adversarial evaluation suite against the output and print the risk report (quadratic)")
 		diversity = flag.Int("diversity", 0, "require distinct ℓ-diversity of the sensitive attribute (needs -sensitive)")
 		sensPath  = flag.String("sensitive", "", "file with one sensitive value per record (enables -diversity)")
 		autoHier  = flag.Int("auto-hier", 0, "infer interval hierarchies for numeric attributes (base bucket width, 0=off)")
@@ -98,6 +99,7 @@ func main() {
 		Header:     !*noHeader,
 		Opt:        opt,
 		Verify:     *verify,
+		Attack:     *attackRpt,
 		Stats:      *stats,
 		Profile:    *profile,
 	}); err != nil {
@@ -127,6 +129,9 @@ type runConfig struct {
 	Header                   bool
 	Opt                      kanon.Options
 	Verify                   bool
+	// Attack runs the adversarial evaluation suite against the release and
+	// prints the risk report on stderr.
+	Attack bool
 	// Stats prints the run's RunStats as JSON on stderr.
 	Stats bool
 	// Profile, when non-empty, is a directory receiving cpu.pprof,
@@ -231,6 +236,18 @@ func run(ctx context.Context, c runConfig) error {
 	}
 	if c.Verify {
 		fmt.Fprintln(os.Stderr, res.Verify(opt.K))
+	}
+	if c.Attack {
+		sum, err := res.AttackEvaluation(opt.K)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "attack report k=%d over %d records:\n", sum.K, sum.Records)
+		for _, v := range []kanon.AttackVector{sum.Matching, sum.Refinement, sum.Intersection} {
+			fmt.Fprintf(os.Stderr, "  %-12s vulnerable=%d (%.1f%%) min-candidates=%d exposed=%d\n",
+				v.Attack, v.Vulnerable, v.VulnerablePct, v.MinCandidates, v.Exposed)
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s vulnerable=%d (%.1f%%)\n", "union", sum.VulnerableUnion, sum.Score)
 	}
 	return nil
 }

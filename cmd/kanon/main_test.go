@@ -77,6 +77,17 @@ func TestRunForestAndVariants(t *testing.T) {
 	}
 }
 
+func TestRunAttackReport(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.csv", testCSV)
+	hier := writeFile(t, dir, "hier.json", testHier)
+	out := filepath.Join(dir, "out.csv")
+	if err := run(nil, runConfig{In: in, Hier: hier, Out: out, Header: true, Attack: true,
+		Opt: kanon.Options{K: 2, Notion: kanon.NotionGlobal1K, Measure: kanon.MeasureEntropy}}); err != nil {
+		t.Fatalf("attack report: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFile(t, dir, "in.csv", testCSV)

@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table1", "experiment: table1, fig2, fig3, distances, modified, k1, global, recoding, queries, diversity, scale, all")
+		exp     = flag.String("exp", "table1", "experiment: table1, fig2, fig3, distances, modified, k1, global, recoding, queries, diversity, scale, attack, all")
 		full    = flag.Bool("full", false, "paper-scale dataset sizes")
 		verify  = flag.Bool("verify", false, "verify every output against the anonymity definitions (slow)")
 		verbose = flag.Bool("v", false, "print one line per completed run")
@@ -296,6 +296,16 @@ func (r *runner) collect(exp string) (interface{}, string, error) {
 			all = append(all, res...)
 		}
 		return all, experiment.FormatDiversity(all), nil
+	case "attack":
+		var all []experiment.AttackResult
+		for _, d := range []string{"ART", "ADT", "CMC"} {
+			res, err := r.cfg.RunAttack(d)
+			if err != nil {
+				return nil, "", err
+			}
+			all = append(all, res...)
+		}
+		return all, experiment.FormatAttack(all), nil
 	default:
 		return nil, "", fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -339,7 +349,7 @@ func writeFigureSVG(dir, name string, blk *experiment.Block) error {
 
 var allExperiments = []string{
 	"table1", "fig2", "fig3", "distances", "modified", "k1",
-	"global", "recoding", "queries", "diversity", "scale",
+	"global", "recoding", "queries", "diversity", "scale", "attack",
 }
 
 func (r *runner) run(w io.Writer, exp string, asJSON bool) error {

@@ -22,6 +22,8 @@ var Paths = []string{
 	"kanon/internal/bipartite",
 	"kanon/internal/hierarchy",
 	"kanon/internal/loss",
+	"kanon/internal/attack",
+	"kanon/internal/risk",
 }
 
 // Analyzer flags time.Now, unseeded math/rand use and map iteration in

@@ -114,15 +114,7 @@ func IsKK(s *cluster.Space, tbl *table.Table, g *table.GenTable, k int) bool {
 // matching of V_{D,g(D)}. If the graph has no perfect matching every count
 // is zero.
 func MatchCounts(s *cluster.Space, tbl *table.Table, g *table.GenTable) []int {
-	counts := make([]int, tbl.Len())
-	gr := BuildGraph(s, tbl, g)
-	allowed, err := bipartite.AllowedEdges(gr)
-	if err != nil {
-		return counts
-	}
-	for i, vs := range allowed {
-		counts[i] = len(vs)
-	}
+	counts, _ := bipartite.AllowedCounts(BuildGraph(s, tbl, g))
 	return counts
 }
 

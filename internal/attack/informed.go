@@ -50,13 +50,6 @@ func SimulateInformed(s *cluster.Space, tbl *table.Table, g *table.GenTable, sen
 			pruned.AddEdge(u, v)
 		}
 	}
-	counts := make([]int, n)
-	allowed, err := bipartite.AllowedEdges(pruned)
-	if err != nil {
-		return counts, nil
-	}
-	for i, vs := range allowed {
-		counts[i] = len(vs)
-	}
+	counts, _ := bipartite.AllowedCounts(pruned)
 	return counts, nil
 }

@@ -198,6 +198,24 @@ func AllowedEdges(g *Graph) ([][]int, error) {
 	return out, nil
 }
 
+// AllowedCounts returns, per left node, the number of its allowed edges
+// (matches of Definition 4.6), and whether the graph admitted a perfect
+// matching at all. Without a perfect matching no edge is a match and every
+// count is zero — the vacuous case the attack simulators report as total
+// collapse. It is the counting convenience shared by the adversary
+// simulations and the risk scorer.
+func AllowedCounts(g *Graph) ([]int, bool) {
+	counts := make([]int, g.nLeft)
+	allowed, err := AllowedEdges(g)
+	if err != nil {
+		return counts, false
+	}
+	for i, vs := range allowed {
+		counts[i] = len(vs)
+	}
+	return counts, true
+}
+
 // AllowedEdgesNaive is the paper's per-edge formulation: edge (u, v) is a
 // match iff the graph without u and v still has a perfect matching. It runs
 // one Hopcroft–Karp per edge and exists as a correctness oracle for

@@ -384,3 +384,52 @@ func TestAllowedEdgesContainMatching(t *testing.T) {
 		}
 	}
 }
+
+func TestAllowedCounts(t *testing.T) {
+	// Complete 3x3 graph: every edge extends to a perfect matching.
+	g := New(3, 3)
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	counts, ok := AllowedCounts(g)
+	if !ok {
+		t.Fatal("complete graph should have a perfect matching")
+	}
+	for u, c := range counts {
+		if c != 3 {
+			t.Errorf("counts[%d] = %d, want 3", u, c)
+		}
+	}
+	// Path-shaped graph 0-0, {0,1}-1 ... the forced matching is identity,
+	// and only identity edges survive.
+	p := New(3, 3)
+	p.AddEdge(0, 0)
+	p.AddEdge(1, 0)
+	p.AddEdge(1, 1)
+	p.AddEdge(2, 1)
+	p.AddEdge(2, 2)
+	counts, ok = AllowedCounts(p)
+	if !ok {
+		t.Fatal("path graph has the identity matching")
+	}
+	for u, c := range counts {
+		if c != 1 {
+			t.Errorf("path counts[%d] = %d, want 1", u, c)
+		}
+	}
+	// No perfect matching: ok=false and every count zero.
+	n := New(2, 2)
+	n.AddEdge(0, 0)
+	n.AddEdge(1, 0)
+	counts, ok = AllowedCounts(n)
+	if ok {
+		t.Error("graph without perfect matching reported ok")
+	}
+	for u, c := range counts {
+		if c != 0 {
+			t.Errorf("vacuous counts[%d] = %d, want 0", u, c)
+		}
+	}
+}

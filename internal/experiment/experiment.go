@@ -22,6 +22,7 @@ import (
 	"kanon/internal/loss"
 	"kanon/internal/obs"
 	"kanon/internal/par"
+	"kanon/internal/risk"
 	"kanon/internal/table"
 )
 
@@ -70,6 +71,12 @@ type Config struct {
 	// stores its snapshot in Run.Obs (normalized under Deterministic, so
 	// checkpointed and uninterrupted suites still serialize identically).
 	Metrics bool
+	// Attack evaluates the adversarial suite (matching, refinement and
+	// intersection attacks — DESIGN.md §13) against every run's release,
+	// stores the report in Run.Risk and emits the attack.* counters into
+	// the run's observability stream. Quadratic in the release size;
+	// intended for harness-scale runs.
+	Attack bool
 	// Observer, when non-nil, additionally receives every run's raw event
 	// stream plus one KindCheckpoint event per OnRun persistence call. It
 	// must be safe for concurrent use: runs of a block execute in parallel
@@ -116,6 +123,9 @@ type Run struct {
 	// Obs carries the run's aggregated observability stats when
 	// Config.Metrics is on (nil otherwise).
 	Obs *obs.RunStats `json:",omitempty"`
+	// Risk carries the adversarial evaluation of the run's release when
+	// Config.Attack is on (nil otherwise).
+	Risk *risk.AttackReport `json:",omitempty"`
 	// Error records why the run produced no result (a recovered panic, an
 	// algorithm error, or a failed verification); the loss fields are zero
 	// and the run is excluded from the block's series. Empty on success.
@@ -336,6 +346,15 @@ func (c Config) RunBlock(dataset string, m MeasureKind) (*Block, error) {
 				r.Verified = j.verify(g, j.k)
 				if !r.Verified {
 					r.Error = "output failed verification"
+				}
+			}
+			if c.Attack && r.Error == "" {
+				rep, aerr := risk.EvaluateAttacks(s, ds.Table, g, j.k, ds.Sensitive)
+				if aerr != nil {
+					r.Error = "attack evaluation: " + aerr.Error()
+				} else {
+					r.Risk = rep
+					emitAttackCounters(obs.From(runCtx), rep)
 				}
 			}
 		}

@@ -127,6 +127,27 @@ const (
 	PeakKernelArenaRows = "cluster.kernel.arena_rows"
 )
 
+// Counter names emitted by the adversarial evaluation suite
+// (internal/risk.EvaluateAttacks, DESIGN.md §13). All are derived from the
+// deterministic attack simulations and therefore worker-count invariant.
+const (
+	// CounterAttackPopulation is the number of individuals the attack
+	// suite evaluated (the release size).
+	CounterAttackPopulation = "attack.population"
+	// CounterAttackVulnMatching counts individuals with fewer than k
+	// candidates under the matching attack (the paper's second adversary).
+	CounterAttackVulnMatching = "attack.vulnerable.matching"
+	// CounterAttackVulnRefinement counts released rows pinned below k
+	// candidates by the no-auxiliary-information refinement attack.
+	CounterAttackVulnRefinement = "attack.vulnerable.refinement"
+	// CounterAttackVulnIntersection counts individuals below k candidates
+	// after intersecting the overlapping-windows repeated releases.
+	CounterAttackVulnIntersection = "attack.vulnerable.intersection"
+	// CounterAttackVulnUnion counts individuals vulnerable to at least one
+	// of the three attacks.
+	CounterAttackVulnUnion = "attack.vulnerable.union"
+)
+
 // Event is one structured run event. Events are plain values: recording one
 // never allocates on the emitting side.
 type Event struct {

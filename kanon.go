@@ -537,3 +537,64 @@ func (r *Result) Risk(model string, k int) (RiskSummary, error) {
 		AtRisk:     rep.AtRiskCount(k),
 	}, nil
 }
+
+// AttackVector summarizes one attack of the adversarial evaluation suite.
+type AttackVector struct {
+	// Attack names the attack: "matching" (the paper's second adversary),
+	// "refinement" (candidate pruning from the release and hierarchies
+	// alone) or "intersection" (repeated overlapping releases).
+	Attack string
+	// Vulnerable counts individuals whose candidate set fell below k, and
+	// VulnerablePct is that count as a percentage of the population.
+	Vulnerable    int
+	VulnerablePct float64
+	// MinCandidates is the smallest candidate set any individual retained.
+	MinCandidates int
+	// Exposed counts individuals whose sensitive value is disclosed
+	// outright (homogeneous candidate set); zero without a sensitive
+	// attribute.
+	Exposed int
+}
+
+// AttackSummary is the combined adversarial evaluation of a release: three
+// attacks plus the headline percentage of the population vulnerable to at
+// least one of them.
+type AttackSummary struct {
+	K            int
+	Records      int
+	Matching     AttackVector
+	Refinement   AttackVector
+	Intersection AttackVector
+	// VulnerableUnion and Score aggregate across attacks: the number and
+	// percentage of individuals vulnerable to at least one attack.
+	VulnerableUnion int
+	Score           float64
+}
+
+// AttackEvaluation runs the full adversarial suite against the release:
+// the matching attack of the paper's second adversary, the
+// no-auxiliary-information refinement attack, and the repeated-release
+// intersection attack over overlapping population windows. k sets the
+// vulnerability threshold (an individual is vulnerable when an attack
+// leaves it fewer than k candidates). The evaluation is deterministic.
+func (r *Result) AttackEvaluation(k int) (AttackSummary, error) {
+	rep, err := risk.EvaluateAttacks(r.space, r.table.tbl, r.gen, k, r.table.sensitive)
+	if err != nil {
+		return AttackSummary{}, err
+	}
+	vec := func(v risk.AttackVector) AttackVector {
+		return AttackVector{
+			Attack: v.Attack, Vulnerable: v.Vulnerable, VulnerablePct: v.VulnerablePct,
+			MinCandidates: v.MinCandidates, Exposed: v.Exposed,
+		}
+	}
+	return AttackSummary{
+		K: rep.K, Records: rep.Records,
+		Matching:     vec(rep.Matching),
+		Refinement:   vec(rep.Refinement),
+		Intersection: vec(rep.Intersection),
+
+		VulnerableUnion: rep.VulnerableUnion,
+		Score:           rep.Score,
+	}, nil
+}

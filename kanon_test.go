@@ -260,6 +260,53 @@ func TestResultRisk(t *testing.T) {
 	}
 }
 
+func TestResultAttackEvaluation(t *testing.T) {
+	const k = 3
+	tbl := ART(60, 5)
+	res, err := Anonymize(tbl, Options{K: k, Notion: NotionGlobal1K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := res.AttackEvaluation(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.K != k || sum.Records != tbl.Len() {
+		t.Errorf("summary header = k=%d records=%d", sum.K, sum.Records)
+	}
+	// Global (1,k) defeats the matching attack by construction, and the
+	// refinement attack by the containment theorem.
+	if sum.Matching.Vulnerable != 0 || sum.Matching.MinCandidates < k {
+		t.Errorf("matching attack breached a global release: %+v", sum.Matching)
+	}
+	if sum.Refinement.Vulnerable != 0 {
+		t.Errorf("refinement attack breached a global release: %+v", sum.Refinement)
+	}
+	if sum.VulnerableUnion != sum.Intersection.Vulnerable {
+		t.Errorf("union %d should equal the intersection-only count %d",
+			sum.VulnerableUnion, sum.Intersection.Vulnerable)
+	}
+	if sum.Score < 0 || sum.Score > 100 {
+		t.Errorf("score %v out of [0,100]", sum.Score)
+	}
+	// The weakest notion is at least as vulnerable overall.
+	weak, err := Anonymize(tbl, Options{K: k, Notion: NotionKK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weakSum, err := weak.AttackEvaluation(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weakSum.Matching.MinCandidates > sum.Matching.MinCandidates {
+		t.Errorf("(k,k) min matching candidates %d exceed global's %d",
+			weakSum.Matching.MinCandidates, sum.Matching.MinCandidates)
+	}
+	if _, err := res.AttackEvaluation(0); err == nil {
+		t.Error("expected invalid-k error")
+	}
+}
+
 func TestAnonymizeFullDomain(t *testing.T) {
 	tbl := loadFacadeTable(t)
 	res, err := Anonymize(tbl, Options{K: 3, Notion: NotionK, FullDomain: true})
