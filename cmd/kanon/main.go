@@ -14,14 +14,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"kanon"
+	"kanon/internal/resilient"
 )
 
 func main() {
@@ -49,6 +52,12 @@ func main() {
 		maxRec    = flag.Int("max-records", 0, "fail fast when the input has more than this many records (0 = no limit)")
 		stats     = flag.Bool("stats", false, "print the run's statistics (phases, counters, peaks) as JSON on stderr")
 		profile   = flag.String("profile", "", "write cpu.pprof, heap.pprof and trace.out into this directory")
+		maxChunk  = flag.Int("max-chunk", 0, "switch notion=k to the sharded partitioned pipeline with chunks of at most this many records (0 = off)")
+		retries   = flag.Int("retries", 0, "shard attempts per partitioned shard, including the first (0 = default 3; needs -max-chunk)")
+		degraded  = flag.Bool("degraded", true, "complete shards that exhaust their retry budget with the reference engine instead of failing the run (needs -max-chunk)")
+		retrySeed = flag.Int64("retry-seed", 0, "seed of the deterministic shard-retry backoff schedule (needs -max-chunk)")
+		shardDL   = flag.Duration("shard-deadline", 0, "per-attempt deadline for each partitioned shard (e.g. 30s; 0 = no limit; needs -max-chunk)")
+		shardCkpt = flag.String("shard-checkpoint", "", "JSONL file of completed-shard checkpoints: existing entries resume the run, new shards are appended (needs -max-chunk)")
 	)
 	flag.Parse()
 
@@ -64,11 +73,26 @@ func main() {
 		Diversity:  *diversity,
 		Workers:    *workers,
 		NoKernel:   *kernel == "off",
+		MaxChunk:   *maxChunk,
 	}
+	if *retries > 0 || !*degraded || *retrySeed != 0 {
+		rp := kanon.DefaultRetryPolicy()
+		if *retries > 0 {
+			rp.MaxAttempts = *retries
+		}
+		rp.Seed = *retrySeed
+		rp.DegradedFallback = *degraded
+		opt.RetryPolicy = rp
+	}
+	opt.ShardDeadline = *shardDL
 	switch *kernel {
 	case "on", "off":
 	default:
 		fmt.Fprintf(os.Stderr, "kanon: bad -kernel: must be on or off (value %q)\n", *kernel)
+		os.Exit(2)
+	}
+	if *shardCkpt != "" && *maxChunk <= 0 {
+		fmt.Fprintln(os.Stderr, "kanon: bad -shard-checkpoint: requires -max-chunk > 0")
 		os.Exit(2)
 	}
 	// Reject bad option combinations before touching any data, naming the
@@ -102,6 +126,7 @@ func main() {
 		Attack:     *attackRpt,
 		Stats:      *stats,
 		Profile:    *profile,
+		ShardCkpt:  *shardCkpt,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "kanon:", err)
 		os.Exit(1)
@@ -115,6 +140,14 @@ func flagFor(field string) string {
 		return "k"
 	case "FullDomain":
 		return "full-domain"
+	case "MaxChunk":
+		return "max-chunk"
+	case "RetryPolicy":
+		return "retries"
+	case "ShardDeadline":
+		return "shard-deadline"
+	case "OnShard", "CompletedShards":
+		return "shard-checkpoint"
 	default:
 		return strings.ToLower(field)
 	}
@@ -137,6 +170,44 @@ type runConfig struct {
 	// Profile, when non-empty, is a directory receiving cpu.pprof,
 	// heap.pprof and trace.out captures bracketing the anonymization.
 	Profile string
+	// ShardCkpt, when non-empty, is a JSONL shard-checkpoint file: existing
+	// entries seed Options.CompletedShards (resuming a killed partitioned
+	// run), and every newly completed shard is appended durably.
+	ShardCkpt string
+}
+
+// loadShardCheckpoints reads a JSONL shard-checkpoint file, tolerating a
+// missing file (fresh run) and a torn trailing line (killed run). If the
+// file carries a torn tail it is truncated away, so the appends of the
+// resumed run start on a clean line boundary.
+func loadShardCheckpoints(path string) ([]kanon.ShardCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	m, valid, err := resilient.ParseLog(data)
+	if err != nil {
+		return nil, err
+	}
+	if valid < int64(len(data)) {
+		fmt.Fprintf(os.Stderr, "kanon: dropping torn tail of %s (%d bytes)\n", path, int64(len(data))-valid)
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, err
+		}
+	}
+	shards := make([]int, 0, len(m))
+	for i := range m {
+		shards = append(shards, i)
+	}
+	sort.Ints(shards)
+	out := make([]kanon.ShardCheckpoint, len(shards))
+	for j, i := range shards {
+		out[j] = kanon.ShardCheckpoint(m[i])
+	}
+	return out, nil
 }
 
 func run(ctx context.Context, c runConfig) error {
@@ -184,6 +255,29 @@ func run(ctx context.Context, c runConfig) error {
 	}
 
 	opt := c.Opt
+	if c.ShardCkpt != "" {
+		completed, err := loadShardCheckpoints(c.ShardCkpt)
+		if err != nil {
+			return err
+		}
+		opt.CompletedShards = completed
+		f, err := os.OpenFile(c.ShardCkpt, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		// Shards complete sequentially on the driving goroutine, so the
+		// append needs no locking; each line is durable once written.
+		opt.OnShard = func(ck kanon.ShardCheckpoint) {
+			if err := enc.Encode(ck); err != nil {
+				fmt.Fprintln(os.Stderr, "kanon: shard checkpoint write:", err)
+			}
+		}
+		if len(completed) > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d completed shards loaded from %s\n", len(completed), c.ShardCkpt)
+		}
+	}
 	var prof *kanon.Profile
 	if c.Profile != "" {
 		if err := os.MkdirAll(c.Profile, 0o755); err != nil {
@@ -227,6 +321,15 @@ func run(ctx context.Context, c runConfig) error {
 	fmt.Fprintf(os.Stderr, "n=%d k=%d notion=%s measure=%s loss=%.4f discernibility=%d\n",
 		tbl.Len(), opt.K, opt.Notion, opt.Measure, res.Loss(), res.Discernibility())
 	st := res.Stats()
+	if rr := res.Resilience(); rr != nil {
+		fmt.Fprintf(os.Stderr, "shards=%d retries=%d quarantined=%d degraded=%d checkpoint_hits=%d\n",
+			len(rr.Shards), rr.Retries, rr.Quarantined, rr.Degraded, rr.CheckpointHits)
+		for _, sh := range rr.Shards {
+			if sh.Degraded {
+				fmt.Fprintf(os.Stderr, "  shard %d (%d records) degraded: %s\n", sh.Shard, sh.Records, sh.DegradedReason)
+			}
+		}
+	}
 	if opt.Notion == kanon.NotionGlobal1K {
 		fmt.Fprintf(os.Stderr, "global upgrade: %d deficient records, %d widening steps\n",
 			st.Counter("core.global.deficient"), st.Counter("core.global.steps"))

@@ -94,7 +94,7 @@ func TestSetupCheckpointRefusesOverwrite(t *testing.T) {
 // missing file is an empty checkpoint, and a corrupt line stops the scan
 // without failing the resume.
 func TestLoadCheckpointMissingAndTorn(t *testing.T) {
-	completed, err := loadCheckpoint(filepath.Join(t.TempDir(), "nope.jsonl"))
+	completed, _, _, err := loadCheckpoint(filepath.Join(t.TempDir(), "nope.jsonl"))
 	if err != nil || len(completed) != 0 {
 		t.Fatalf("missing file: completed=%v err=%v", completed, err)
 	}
@@ -106,7 +106,7 @@ func TestLoadCheckpointMissingAndTorn(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	completed, err = loadCheckpoint(path)
+	completed, _, _, err = loadCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,5 +115,78 @@ func TestLoadCheckpointMissingAndTorn(t *testing.T) {
 	}
 	if _, ok := completed["ART|EM|forest|3"]; !ok {
 		t.Fatalf("unexpected keys: %v", completed)
+	}
+}
+
+// TestScaleShardCheckpointResume kills the scale experiment mid-run (by
+// keeping only some of its shard checkpoint lines) and resumes it: the
+// resumed run must reuse exactly the kept shards and produce results
+// identical to the uninterrupted run.
+func TestScaleShardCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	const n, k, maxChunk = 300, 5, 64
+
+	// Uninterrupted scale run, recording every shard.
+	fullPath := filepath.Join(dir, "full.jsonl")
+	cfgA := ckptConfig()
+	closeA, err := setupCheckpoint(&cfgA, fullPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := cfgA.RunScale([]int{n}, k, maxChunk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeA()
+
+	full, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(full, []byte("\n")), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("scale run recorded %d shard lines, want ≥ 2 to cut", len(lines))
+	}
+
+	// The kill scenario: half the shards landed, then a write was torn.
+	partPath := filepath.Join(dir, "part.jsonl")
+	kept := len(lines) / 2
+	torn := append(bytes.Join(lines[:kept], []byte("\n")), []byte("\n{\"scale_run\":\"sc")...)
+	if err := os.WriteFile(partPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := ckptConfig()
+	closeB, err := setupCheckpoint(&cfgB, partPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := experiment.ScaleRunKey(n, k, maxChunk, cfgB.Seed)
+	if got := len(cfgB.CompletedShards[key]); got != kept {
+		t.Fatalf("resume loaded %d shards for %q, want %d; shard map: %v",
+			got, key, kept, cfgB.CompletedShards)
+	}
+	resB, err := cfgB.RunScale([]int{n}, k, maxChunk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeB()
+
+	if len(resA) != len(resB) {
+		t.Fatalf("result rows differ: %d vs %d", len(resA), len(resB))
+	}
+	for i := range resA {
+		if resA[i] != resB[i] {
+			t.Errorf("row %d differs: uninterrupted %+v resumed %+v", i, resA[i], resB[i])
+		}
+	}
+
+	// The resumed checkpoint must now cover every shard of the run.
+	_, shards, _, err := loadCheckpoint(partPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(shards[key]); got != len(lines) {
+		t.Errorf("resumed checkpoint holds %d shards, want %d", got, len(lines))
 	}
 }

@@ -14,7 +14,7 @@
 package main
 
 import (
-	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -23,10 +23,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"kanon/internal/experiment"
 	"kanon/internal/plot"
+	"kanon/internal/resilient"
 )
 
 func main() {
@@ -97,22 +99,46 @@ func main() {
 		time.Since(start).Round(time.Millisecond), cfg.NART, cfg.NADT, cfg.NCMC, cfg.Seed)
 }
 
+// shardLine is the JSONL shape of a shard-granular checkpoint line from a
+// partitioned scale run. Run lines stay plain experiment.Run objects; the
+// scale_run discriminator never appears in a Run, so a loader can tell the
+// two apart from the bytes alone.
+type shardLine struct {
+	ScaleRun string                    `json:"scale_run"`
+	Shard    resilient.ShardCheckpoint `json:"shard"`
+}
+
 // setupCheckpoint wires -checkpoint/-resume into the config: completed
-// runs are appended to path as JSON lines the moment they finish (flushed
-// per run, so a kill loses at most the in-flight runs), and with resume
-// the runs already recorded are loaded and skipped. Checkpointing forces
-// Deterministic so a resumed suite serializes byte-identically to an
-// uninterrupted one.
+// runs — and, for partitioned scale runs, completed shards — are appended
+// to path as JSON lines the moment they finish (flushed per line, so a
+// kill loses at most the in-flight work), and with resume the work already
+// recorded is loaded and skipped. Checkpointing forces Deterministic so a
+// resumed suite serializes byte-identically to an uninterrupted one.
 func setupCheckpoint(cfg *experiment.Config, path string, resume bool) (func(), error) {
 	cfg.Deterministic = true
 	if resume {
-		completed, err := loadCheckpoint(path)
+		completed, shards, valid, err := loadCheckpoint(path)
 		if err != nil {
 			return nil, err
 		}
+		if fi, err := os.Stat(path); err == nil && valid < fi.Size() {
+			// A torn tail from a mid-write kill: truncate it away so the
+			// appends below start on a clean line boundary instead of
+			// gluing onto the partial line.
+			fmt.Fprintf(os.Stderr, "kanonbench: dropping torn tail of %s (%d bytes)\n", path, fi.Size()-valid)
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, err
+			}
+		}
 		cfg.Completed = completed
-		if len(completed) > 0 {
-			fmt.Fprintf(os.Stderr, "resuming: %d runs checkpointed in %s\n", len(completed), path)
+		cfg.CompletedShards = shards
+		if len(completed) > 0 || len(shards) > 0 {
+			nShards := 0
+			for _, m := range shards {
+				nShards += len(m)
+			}
+			fmt.Fprintf(os.Stderr, "resuming: %d runs, %d shards checkpointed in %s\n",
+				len(completed), nShards, path)
 		}
 	} else if _, err := os.Stat(path); err == nil {
 		return nil, fmt.Errorf("checkpoint file %s already exists (pass -resume to continue it, or remove it)", path)
@@ -121,11 +147,22 @@ func setupCheckpoint(cfg *experiment.Config, path string, resume bool) (func(), 
 	if err != nil {
 		return nil, err
 	}
+	// OnRun calls are serialized by experiment.Config, and OnShard fires on
+	// the sequential shard supervisor, but the two surfaces can interleave
+	// in principle — one mutex keeps every Encode an atomic line append.
+	var mu sync.Mutex
 	enc := json.NewEncoder(f)
 	cfg.OnRun = func(r experiment.Run) {
-		// experiment.Config serializes OnRun calls; Encode appends one
-		// line and the unbuffered *os.File makes it durable immediately.
+		mu.Lock()
+		defer mu.Unlock()
 		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, "kanonbench: checkpoint write:", err)
+		}
+	}
+	cfg.OnShard = func(runKey string, ck resilient.ShardCheckpoint) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := enc.Encode(shardLine{ScaleRun: runKey, Shard: ck}); err != nil {
 			fmt.Fprintln(os.Stderr, "kanonbench: checkpoint write:", err)
 		}
 	}
@@ -133,37 +170,64 @@ func setupCheckpoint(cfg *experiment.Config, path string, resume bool) (func(), 
 }
 
 // loadCheckpoint parses a JSONL checkpoint into a Run map keyed by
-// Run.Key(). A missing file is an empty checkpoint; a torn trailing line
-// (from a mid-write kill) is dropped with a warning.
-func loadCheckpoint(path string) (map[string]experiment.Run, error) {
+// Run.Key() plus a shard map keyed by scale-run key, and returns the byte
+// length of the valid prefix (everything before a torn line). A missing
+// file is an empty checkpoint; a torn trailing line (from a mid-write
+// kill) is dropped with a warning, and the caller truncates it away before
+// appending.
+func loadCheckpoint(path string) (map[string]experiment.Run, map[string]map[int]resilient.ShardCheckpoint, int64, error) {
 	completed := make(map[string]experiment.Run)
-	f, err := os.Open(path)
+	shards := make(map[string]map[int]resilient.ShardCheckpoint)
+	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return completed, nil
+		return completed, shards, 0, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	line := 0
-	for sc.Scan() {
+	var valid int64
+	off, line := 0, 0
+	for off < len(data) {
 		line++
-		if len(sc.Bytes()) == 0 {
-			continue
+		end, next := len(data), len(data)
+		if nl := bytes.IndexByte(data[off:], '\n'); nl >= 0 {
+			end = off + nl
+			next = end + 1
 		}
-		var r experiment.Run
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			fmt.Fprintf(os.Stderr, "kanonbench: checkpoint %s line %d unreadable (torn write?), dropping it and the rest\n", path, line)
-			break
+		if b := data[off:end]; len(b) > 0 {
+			if !parseCheckpointLine(b, completed, shards) {
+				fmt.Fprintf(os.Stderr, "kanonbench: checkpoint %s line %d unreadable (torn write?), dropping it and the rest\n", path, line)
+				return completed, shards, valid, nil
+			}
 		}
-		completed[r.Key()] = r
+		off = next
+		valid = int64(off)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("reading checkpoint %s: %w", path, err)
+	return completed, shards, valid, nil
+}
+
+// parseCheckpointLine decodes one checkpoint line into the run or shard
+// map, reporting whether the line was readable.
+func parseCheckpointLine(b []byte, completed map[string]experiment.Run, shards map[string]map[int]resilient.ShardCheckpoint) bool {
+	var sl shardLine
+	if err := json.Unmarshal(b, &sl); err != nil {
+		return false
 	}
-	return completed, nil
+	if sl.ScaleRun != "" {
+		m := shards[sl.ScaleRun]
+		if m == nil {
+			m = make(map[int]resilient.ShardCheckpoint)
+			shards[sl.ScaleRun] = m
+		}
+		m[sl.Shard.Shard] = sl.Shard
+		return true
+	}
+	var r experiment.Run
+	if err := json.Unmarshal(b, &r); err != nil {
+		return false
+	}
+	completed[r.Key()] = r
+	return true
 }
 
 // runner memoizes dataset × measure blocks so `-exp all` computes each of

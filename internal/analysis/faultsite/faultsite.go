@@ -73,10 +73,18 @@ func run(pass *analysis.Pass) error {
 					}
 				case *ast.CallExpr:
 					fn := analysis.CalleeFunc(info, n)
-					if !analysis.IsPkgFunc(fn, FaultPath, "Inject") || len(n.Args) != 1 {
+					// Inject takes the site directly; InjectCtx takes
+					// (ctx, site).
+					var siteArg ast.Expr
+					switch {
+					case analysis.IsPkgFunc(fn, FaultPath, "Inject") && len(n.Args) == 1:
+						siteArg = n.Args[0]
+					case analysis.IsPkgFunc(fn, FaultPath, "InjectCtx") && len(n.Args) == 2:
+						siteArg = n.Args[1]
+					default:
 						return true
 					}
-					tv := info.Types[n.Args[0]]
+					tv := info.Types[siteArg]
 					if tv.Value == nil || tv.Value.Kind() != constant.String {
 						nonConst = append(nonConst, n.Pos())
 						return true

@@ -2,7 +2,11 @@
 // injected and test-referenced; injected names must be declared.
 package fs
 
-import "kanon/internal/fault"
+import (
+	"context"
+
+	"kanon/internal/fault"
+)
 
 const (
 	// SiteGood is injected below and referenced by fs_test.go.
@@ -11,6 +15,8 @@ const (
 	SiteNoInject = "fs.noinject" // want "has no fault.Inject call"
 	// SiteNoTest is wired in but no test exercises it.
 	SiteNoTest = "fs.notest" // want "has no test rule referencing it"
+	// SiteCtx is injected through the context-aware hook below.
+	SiteCtx = "fs.ctx"
 )
 
 // SiteLegacy shows the suppression form for a reviewed exception.
@@ -22,6 +28,12 @@ func engine() {
 	fault.Inject("fs.undeclared") // want "names an undeclared site"
 }
 
+func engineCtx(ctx context.Context) {
+	fault.InjectCtx(ctx, SiteCtx)
+}
+
 func dynamic(site string) {
-	fault.Inject(site) // want "non-constant site"
+	fault.Inject(site)                     // want "non-constant site"
+	fault.InjectCtx(nil, site)             // want "non-constant site"
+	fault.InjectCtx(nil, "fs.undeclared2") // want "names an undeclared site"
 }

@@ -6,5 +6,6 @@ import "kanon/internal/fault"
 // neither is flagged for missing test coverage.
 func testRule() fault.Rule {
 	_ = SiteNoInject
+	_ = SiteCtx
 	return fault.Rule{Site: SiteGood, Hit: 1, Action: fault.Panic}
 }

@@ -36,6 +36,11 @@ const (
 	SiteForestRound = "core.forest.round"
 	// SiteGlobalStep fires once per widening step of Algorithm 6.
 	SiteGlobalStep = "core.global.step"
+	// SitePartitionChunk fires at the start of every primary attempt of a
+	// partitioned-pipeline shard, inside the shard supervisor's containment
+	// scope (see internal/resilient): a rule armed here exercises
+	// retry/quarantine/degraded handling rather than aborting the run.
+	SitePartitionChunk = "core.partition.chunk"
 )
 
 // Observability phases of the core pipelines (obs.KindPhaseStart/End).

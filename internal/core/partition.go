@@ -6,7 +6,9 @@ import (
 	"sort"
 
 	"kanon/internal/cluster"
+	"kanon/internal/fault"
 	"kanon/internal/obs"
+	"kanon/internal/resilient"
 	"kanon/internal/table"
 )
 
@@ -26,6 +28,20 @@ type PartitionedOptions struct {
 	// NoKernel disables the chunk engines' flat distance kernel (see
 	// cluster.AggloOptions.NoKernel).
 	NoKernel bool
+	// Resilience configures the shard supervisor (DESIGN.md §14); nil
+	// selects resilient.DefaultPolicy (3 attempts, deterministic backoff,
+	// degraded fallback enabled).
+	Resilience *resilient.Policy
+	// OnShard, when set, is invoked on the driving goroutine after each
+	// shard completes (primary or degraded), with a checkpoint from which
+	// the shard's clusters can be rebuilt without recomputation. Callers
+	// persist these to make a killed run resumable at shard granularity.
+	OnShard func(resilient.ShardCheckpoint)
+	// CompletedShards holds shard checkpoints from a previous run, keyed by
+	// shard index. A shard whose checkpoint signature matches the current
+	// parameters and record set is restored instead of recomputed; a stale
+	// signature is ignored and the shard recomputed.
+	CompletedShards map[int]resilient.ShardCheckpoint
 }
 
 // KAnonymizePartitioned addresses the paper's Section VII call for "more
@@ -43,15 +59,38 @@ func KAnonymizePartitioned(s *cluster.Space, tbl *table.Table, opt PartitionedOp
 
 // KAnonymizePartitionedCtx is KAnonymizePartitioned under a context: the
 // per-chunk engines run with the context (cancelling at their scan/merge
-// boundaries) and the chunk loop checks it between chunks, returning
-// ctx.Err() with no partial output. A nil ctx disables cancellation.
+// boundaries) and the shard supervisor checks it between attempts,
+// returning ctx.Err() with no partial output. A nil ctx disables
+// cancellation.
 func KAnonymizePartitionedCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, opt PartitionedOptions) (*table.GenTable, []*cluster.Cluster, error) {
+	g, cs, _, err := KAnonymizePartitionedReportCtx(ctx, s, tbl, opt)
+	return g, cs, err
+}
+
+// partitionSignature binds a shard checkpoint to the run parameters that
+// shaped its clusters: everything that changes the per-chunk engine's
+// output (not Workers/NoKernel — those are proven output-neutral by the
+// equivalence harness, so a checkpoint survives a worker-count change).
+func partitionSignature(opt PartitionedOptions, dist cluster.Distance, n int) string {
+	return fmt.Sprintf("k=%d|dist=%s|mod=%t|n=%d", opt.K, dist.Name(), opt.Modified, n)
+}
+
+// KAnonymizePartitionedReportCtx is the resilient partitioned pipeline
+// (DESIGN.md §14): every chunk runs as a supervised shard — contained,
+// retried with deterministic backoff on transient failures, quarantined
+// and completed by the reference (kernel-off, single-worker) engine after
+// exhausting its budget — and the returned RunReport records each shard's
+// attempt history. The report is non-nil whenever supervision started,
+// including on error, so callers can checkpoint partial progress; the
+// merged output still satisfies every k-anonymity invariant because both
+// engines produce k-respecting clusters over the same chunks.
+func KAnonymizePartitionedReportCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, opt PartitionedOptions) (*table.GenTable, []*cluster.Cluster, *resilient.RunReport, error) {
 	n := tbl.Len()
 	if opt.K < 1 {
-		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
+		return nil, nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
 	}
 	if opt.K > n {
-		return nil, nil, fmt.Errorf("core: k=%d exceeds table size n=%d", opt.K, n)
+		return nil, nil, nil, fmt.Errorf("core: k=%d exceeds table size n=%d", opt.K, n)
 	}
 	dist := opt.Distance
 	if dist == nil {
@@ -65,6 +104,10 @@ func KAnonymizePartitionedCtx(ctx context.Context, s *cluster.Space, tbl *table.
 		// Chunks below 2k leave the engine no freedom; clamp.
 		maxChunk = 2 * opt.K
 	}
+	policy := resilient.DefaultPolicy()
+	if opt.Resilience != nil {
+		policy = *opt.Resilience
+	}
 
 	o := obs.From(ctx)
 	endSplit := o.Phase(PhasePartition)
@@ -75,36 +118,91 @@ func KAnonymizePartitionedCtx(ctx context.Context, s *cluster.Space, tbl *table.
 	chunks := partitionRecords(s, tbl, all, opt.K, maxChunk)
 	endSplit()
 
-	var clusters []*cluster.Cluster
-	for _, chunk := range chunks {
-		if ctxDone(ctx) {
-			return nil, nil, ctx.Err()
-		}
-		o.Event(obs.KindChunk, PhasePartition, int64(len(chunk)))
-		sub := table.New(tbl.Schema)
-		for _, i := range chunk {
-			sub.Records = append(sub.Records, tbl.Records[i])
-		}
-		cs, err := cluster.AgglomerateCtx(ctx, s, sub, cluster.AggloOptions{
-			K:        opt.K,
-			Distance: dist,
-			Modified: opt.Modified,
-			Workers:  opt.Workers,
-			NoKernel: opt.NoKernel,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		// Translate chunk-local member indices back to global ones.
-		for _, c := range cs {
-			for mi, local := range c.Members {
-				c.Members[mi] = chunk[local]
+	sig := partitionSignature(opt, dist, n)
+	results := make([][]*cluster.Cluster, len(chunks))
+	units := make([]resilient.Unit, len(chunks))
+	for i, chunk := range chunks {
+		run := func(aggOpt cluster.AggloOptions) func(context.Context) error {
+			return func(actx context.Context) error {
+				o.Event(obs.KindChunk, PhasePartition, int64(len(chunk)))
+				sub := table.New(tbl.Schema)
+				for _, gi := range chunk {
+					sub.Records = append(sub.Records, tbl.Records[gi])
+				}
+				cs, err := cluster.AgglomerateCtx(actx, s, sub, aggOpt)
+				if err != nil {
+					return err
+				}
+				// Translate chunk-local member indices back to global ones.
+				for _, c := range cs {
+					for mi, local := range c.Members {
+						c.Members[mi] = chunk[local]
+					}
+				}
+				results[i] = cs
+				if opt.OnShard != nil {
+					members := make([][]int, len(cs))
+					for ci, c := range cs {
+						members[ci] = c.Members
+					}
+					opt.OnShard(resilient.ShardCheckpoint{
+						Shard:    i,
+						Sig:      resilient.Signature(sig, chunk),
+						Clusters: members,
+					})
+				}
+				return nil
 			}
-			clusters = append(clusters, c)
+		}
+		units[i] = resilient.Unit{
+			Index:   i,
+			Records: len(chunk),
+			Run: func(actx context.Context) error {
+				fault.InjectCtx(actx, SitePartitionChunk)
+				return run(cluster.AggloOptions{
+					K:        opt.K,
+					Distance: dist,
+					Modified: opt.Modified,
+					Workers:  opt.Workers,
+					NoKernel: opt.NoKernel,
+				})(actx)
+			},
+			// The degraded fallback is the reference engine — kernel off,
+			// single worker, no fault hooks — proven byte-identical to the
+			// primary path by the kernel equivalence harness, so degraded
+			// completion changes reliability, never output.
+			Degraded: run(cluster.AggloOptions{
+				K:        opt.K,
+				Distance: dist,
+				Modified: opt.Modified,
+				Workers:  1,
+				NoKernel: true,
+			}),
+		}
+		if ck, ok := opt.CompletedShards[i]; ok && ck.Sig == resilient.Signature(sig, chunk) {
+			// Restore the shard from its checkpoint: closures and costs are
+			// pure functions of the member sets, so the rebuilt clusters are
+			// byte-identical to the computed ones. A stale signature (other
+			// parameters, other records) falls through to recomputation.
+			cs := make([]*cluster.Cluster, len(ck.Clusters))
+			for ci, members := range ck.Clusters {
+				cs[ci] = s.NewCluster(tbl, members)
+			}
+			results[i] = cs
+			units[i].Cached = true
 		}
 	}
+
+	rep, err := resilient.Supervise(ctx, units, policy, o)
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	var clusters []*cluster.Cluster
+	for _, cs := range results {
+		clusters = append(clusters, cs...)
+	}
 	g := cluster.ToGenTable(tbl.Schema, n, clusters)
-	return g, clusters, nil
+	return g, clusters, rep, nil
 }
 
 // partitionRecords recursively splits the index set along hierarchy

@@ -22,6 +22,7 @@ import (
 	"kanon/internal/loss"
 	"kanon/internal/obs"
 	"kanon/internal/par"
+	"kanon/internal/resilient"
 	"kanon/internal/risk"
 	"kanon/internal/table"
 )
@@ -82,6 +83,16 @@ type Config struct {
 	// must be safe for concurrent use: runs of a block execute in parallel
 	// and share it. Excluded from JSON output.
 	Observer obs.Recorder `json:"-"`
+	// OnShard, when non-nil, receives every completed partitioned shard of
+	// the scalability experiment (E19), keyed by the scale run it belongs
+	// to — the persistence half of shard-granular checkpointing (the run
+	// level Completed/OnRun pair resumes whole runs; this pair resumes
+	// inside a killed partitioned run). Excluded from JSON output.
+	OnShard func(runKey string, ck resilient.ShardCheckpoint) `json:"-"`
+	// CompletedShards pre-seeds partitioned shards by scale-run key: shards
+	// whose checkpoint signature still matches are restored instead of
+	// recomputed. Excluded from JSON output.
+	CompletedShards map[string]map[int]resilient.ShardCheckpoint `json:"-"`
 }
 
 // DefaultConfig sizes the datasets so the full suite finishes in a few

@@ -9,6 +9,7 @@ import (
 	"kanon/internal/core"
 	"kanon/internal/datagen"
 	"kanon/internal/loss"
+	"kanon/internal/resilient"
 	"kanon/internal/table"
 	"kanon/internal/workload"
 )
@@ -174,9 +175,19 @@ type ScaleResult struct {
 	Loss      float64
 }
 
+// ScaleRunKey identifies one partitioned scale run for shard-granular
+// checkpointing (Config.OnShard / Config.CompletedShards).
+func ScaleRunKey(n, k, maxChunk int, seed int64) string {
+	return fmt.Sprintf("scale|n=%d|k=%d|chunk=%d|seed=%d", n, k, maxChunk, seed)
+}
+
 // RunScale runs E19 on Adult-like data for the given sizes. The plain
 // algorithm is skipped above skipPlainAbove records to keep the experiment
-// bounded.
+// bounded. The partitioned runs execute under the resilient shard
+// supervisor; with Config.OnShard/CompletedShards wired a killed run
+// resumes at shard granularity. Under Config.Deterministic the wall-clock
+// columns are zeroed so resumed and uninterrupted suites serialize
+// byte-identically.
 func (c Config) RunScale(sizes []int, k, maxChunk, skipPlainAbove int) ([]ScaleResult, error) {
 	var out []ScaleResult
 	for _, n := range sizes {
@@ -192,18 +203,36 @@ func (c Config) RunScale(sizes []int, k, maxChunk, skipPlainAbove int) ([]ScaleR
 				return nil, err
 			}
 			out = append(out, ScaleResult{N: n, Algorithm: "agglomerative",
-				Millis: nowMillis() - start, Loss: loss.TableLoss(meas, g)})
+				Millis: c.millisSince(start), Loss: loss.TableLoss(meas, g)})
+		}
+		key := ScaleRunKey(n, k, maxChunk, c.Seed)
+		popt := core.PartitionedOptions{K: k, MaxChunk: maxChunk, Workers: c.Workers}
+		if c.OnShard != nil {
+			onShard := c.OnShard
+			popt.OnShard = func(ck resilient.ShardCheckpoint) { onShard(key, ck) }
+		}
+		if len(c.CompletedShards[key]) > 0 {
+			popt.CompletedShards = c.CompletedShards[key]
 		}
 		start := nowMillis()
-		g, _, err := core.KAnonymizePartitioned(s, ds.Table, core.PartitionedOptions{K: k, MaxChunk: maxChunk})
+		g, _, _, err := core.KAnonymizePartitionedReportCtx(c.Ctx, s, ds.Table, popt)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, ScaleResult{N: n, Algorithm: "partitioned",
-			Millis: nowMillis() - start, Loss: loss.TableLoss(meas, g)})
+			Millis: c.millisSince(start), Loss: loss.TableLoss(meas, g)})
 		c.logf("done scale n=%-6d", n)
 	}
 	return out, nil
+}
+
+// millisSince is nowMillis()-start, or 0 under Deterministic (wall clocks
+// must not leak into checkpoint-comparable output).
+func (c Config) millisSince(start int64) int64 {
+	if c.Deterministic {
+		return 0
+	}
+	return nowMillis() - start
 }
 
 // FormatScale renders E19.

@@ -13,6 +13,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -154,6 +155,13 @@ func Active() bool { return current.Load() != nil }
 // Inject is the engine-side hook: a no-op unless an injector with rules
 // for the site is active. Sites are hit-counted per activation.
 func Inject(site string) {
+	InjectCtx(nil, site)
+}
+
+// InjectCtx is Inject with a context: a Delay rule's sleep returns early
+// when ctx is cancelled, so a delayed site can never block an engine past
+// its own cancellation. A nil ctx sleeps the full delay (matching Inject).
+func InjectCtx(ctx context.Context, site string) {
 	in := current.Load()
 	if in == nil {
 		return
@@ -171,11 +179,28 @@ func Inject(site string) {
 		case Panic:
 			panic(&Injected{Site: site, Hit: hit})
 		case Delay:
-			time.Sleep(r.Delay)
+			sleepCtx(ctx, r.Delay)
 		case Cancel:
 			if in.cancel != nil {
 				in.cancel()
 			}
 		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -111,5 +112,50 @@ func TestInjectedError(t *testing.T) {
 	}
 	if Panic.String() != "panic" || Delay.String() != "delay" || Cancel.String() != "cancel" {
 		t.Fatal("Action.String mismatch")
+	}
+}
+
+func TestDelayRespectsContextCancellation(t *testing.T) {
+	// A Delay rule must not block a cancelled engine: with the context
+	// already done, InjectCtx returns promptly no matter how long the
+	// armed delay is.
+	in := NewInjector(Rule{Site: "s", Hit: 1, Action: Delay, Delay: time.Hour})
+	defer Activate(in)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	InjectCtx(ctx, "s")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled delay blocked for %v", elapsed)
+	}
+	if got := in.Hits("s"); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+}
+
+func TestDelayNilCtxSleepsFully(t *testing.T) {
+	// The nil-ctx path keeps Inject's original semantics: the full delay.
+	in := NewInjector(Rule{Site: "s", Hit: 1, Action: Delay, Delay: 20 * time.Millisecond})
+	defer Activate(in)()
+	start := time.Now()
+	Inject("s")
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("nil-ctx delay slept only %v", elapsed)
+	}
+}
+
+func TestDelayUnblocksOnLiveCancel(t *testing.T) {
+	// Cancellation arriving mid-sleep wakes the delay immediately.
+	in := NewInjector(Rule{Site: "s", Hit: 1, Action: Delay, Delay: time.Hour})
+	defer Activate(in)()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	InjectCtx(ctx, "s")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("mid-sleep cancellation ignored for %v", elapsed)
 	}
 }

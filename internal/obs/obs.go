@@ -148,6 +148,29 @@ const (
 	CounterAttackVulnUnion = "attack.vulnerable.union"
 )
 
+// Counter names emitted by the shard supervisor of the partitioned pipeline
+// (internal/resilient, DESIGN.md §14). All are worker-count invariant:
+// shards are supervised sequentially on the driving goroutine and the
+// retry/quarantine decisions are pure functions of (policy, fault rules).
+const (
+	// CounterResilientShards counts shards supervised (including cached and
+	// quarantined ones).
+	CounterResilientShards = "resilient.shards"
+	// CounterResilientRetries counts retry attempts scheduled after
+	// transient shard failures.
+	CounterResilientRetries = "resilient.retries"
+	// CounterResilientQuarantined counts shards that exhausted their retry
+	// budget (or failed deterministically) and were quarantined from the
+	// optimizing engine.
+	CounterResilientQuarantined = "resilient.quarantined"
+	// CounterResilientDegraded counts quarantined shards completed by the
+	// degraded (reference kernel-off, single-worker) engine.
+	CounterResilientDegraded = "resilient.degraded_shards"
+	// CounterResilientCheckpointHits counts shards skipped because a shard
+	// checkpoint already held their completed clusters.
+	CounterResilientCheckpointHits = "resilient.checkpoint_hits"
+)
+
 // Event is one structured run event. Events are plain values: recording one
 // never allocates on the emitting side.
 type Event struct {

@@ -1,0 +1,82 @@
+package resilient
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSignature(t *testing.T) {
+	base := Signature("k=5|dist=d3", []int{0, 1, 2})
+	if base == 0 {
+		t.Fatal("zero signature")
+	}
+	if got := Signature("k=5|dist=d3", []int{0, 1, 2}); got != base {
+		t.Error("signature not deterministic")
+	}
+	if got := Signature("k=6|dist=d3", []int{0, 1, 2}); got == base {
+		t.Error("parameter change not reflected")
+	}
+	if got := Signature("k=5|dist=d3", []int{0, 1, 3}); got == base {
+		t.Error("record change not reflected")
+	}
+	if got := Signature("k=5|dist=d3", []int{0, 2, 1}); got == base {
+		t.Error("record order not reflected")
+	}
+}
+
+func TestLoadLog(t *testing.T) {
+	line := func(ck ShardCheckpoint) string { return string(mustJSON(t, ck)) }
+	a := ShardCheckpoint{Shard: 0, Sig: 7, Clusters: [][]int{{0, 1}, {2, 3}}}
+	b := ShardCheckpoint{Shard: 1, Sig: 8, Clusters: [][]int{{4, 5}}}
+	a2 := ShardCheckpoint{Shard: 0, Sig: 9, Clusters: [][]int{{0, 1, 2, 3}}}
+
+	t.Run("later-line-wins", func(t *testing.T) {
+		log := line(a) + "\n" + line(b) + "\n" + line(a2) + "\n"
+		got, err := LoadLog(strings.NewReader(log))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 || got[0].Sig != 9 || got[1].Sig != 8 {
+			t.Fatalf("loaded %+v", got)
+		}
+	})
+	t.Run("torn-tail-dropped", func(t *testing.T) {
+		full := line(a) + "\n" + line(b)
+		torn := full[:len(full)-4] // cut mid-object, no trailing newline
+		got, err := LoadLog(strings.NewReader(torn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].Sig != 7 {
+			t.Fatalf("loaded %+v, want only shard 0", got)
+		}
+	})
+	t.Run("torn-middle-errors", func(t *testing.T) {
+		log := line(a) + "\n{garbage\n" + line(b) + "\n"
+		if _, err := LoadLog(strings.NewReader(log)); err == nil {
+			t.Fatal("corruption before valid data not reported")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		got, err := LoadLog(strings.NewReader(""))
+		if err != nil || len(got) != 0 {
+			t.Fatalf("got %v, %v", got, err)
+		}
+	})
+	t.Run("blank-lines-skipped", func(t *testing.T) {
+		got, err := LoadLog(strings.NewReader("\n" + line(a) + "\n\n"))
+		if err != nil || len(got) != 1 {
+			t.Fatalf("got %v, %v", got, err)
+		}
+	})
+}
+
+func mustJSON(t *testing.T, ck ShardCheckpoint) []byte {
+	t.Helper()
+	b, err := json.Marshal(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

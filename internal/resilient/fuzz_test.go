@@ -1,0 +1,94 @@
+package resilient
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"kanon/internal/fault"
+)
+
+// FuzzSupervisorDeterminism drives the supervisor over a fuzzer-chosen
+// placement of failures — which shard fails, at which attempt, and how
+// (fault-like panic, plain panic, engine error) — and requires the
+// RunReport to be a pure function of that placement: two supervised runs
+// over the same schedule must produce byte-identical JSON, and no schedule
+// may lose a shard (every shard either completes or the run errors with a
+// typed *ShardError).
+func FuzzSupervisorDeterminism(f *testing.F) {
+	f.Add(int64(1), []byte{0x00, 0x01, 0x02})
+	f.Add(int64(42), []byte{0xff, 0x03})
+	f.Add(int64(7), []byte{0x10, 0x20, 0x30, 0x40, 0x55})
+	f.Fuzz(func(t *testing.T, seed int64, schedule []byte) {
+		if len(schedule) > 16 {
+			schedule = schedule[:16]
+		}
+		p := Policy{
+			MaxAttempts: 3,
+			BackoffBase: time.Microsecond,
+			BackoffMax:  4 * time.Microsecond,
+			Seed:        seed,
+		}
+		run := func() ([]byte, int, error) {
+			units := make([]Unit, len(schedule))
+			completed := 0
+			for i, b := range schedule {
+				// Low nibble: number of failing attempts (0-3).
+				// High nibble: failure mode.
+				fails := int(b & 0x0f % 4)
+				mode := int(b >> 4 % 3)
+				calls := 0
+				units[i] = Unit{
+					Index:   i,
+					Records: 1,
+					Run: func(ctx context.Context) error {
+						calls++
+						if calls <= fails {
+							switch mode {
+							case 0:
+								// A *fault.Injected panic value classifies as a
+								// transient fault without touching the global
+								// injector, keeping the target parallel-safe.
+								panic(&fault.Injected{Site: "fuzz.site", Hit: int64(calls)})
+							case 1:
+								panic("shard bug")
+							default:
+								return errors.New("engine error")
+							}
+						}
+						completed++
+						return nil
+					},
+					Degraded: func(ctx context.Context) error { completed++; return nil },
+				}
+			}
+			rep, err := Supervise(nil, units, p, nil)
+			return rep.JSON(), completed, err
+		}
+		j1, done1, err1 := run()
+		j2, done2, err2 := run()
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("reports differ for identical schedules:\n%s\n%s", j1, j2)
+		}
+		if done1 != done2 {
+			t.Fatalf("completed shards differ: %d vs %d", done1, done2)
+		}
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error presence differs: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			var se *ShardError
+			if !errors.As(err1, &se) {
+				t.Fatalf("run error %v is not a *ShardError", err1)
+			}
+			return
+		}
+		// No error: every shard must have completed exactly once.
+		if done1 != len(schedule) {
+			t.Fatalf("data loss: %d of %d shards completed", done1, len(schedule))
+		}
+	})
+}
+

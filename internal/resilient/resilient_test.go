@@ -1,0 +1,403 @@
+package resilient
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"kanon/internal/fault"
+	"kanon/internal/obs"
+)
+
+// fastPolicy keeps test backoffs in the microsecond range.
+func fastPolicy() Policy {
+	return Policy{MaxAttempts: 3, BackoffBase: 10 * time.Microsecond, BackoffMax: 100 * time.Microsecond, Seed: 42}
+}
+
+// failingUnit returns a unit whose Run fails (via fail) for the first
+// failures calls and then succeeds, counting calls into *calls.
+func failingUnit(idx int, failures int, calls *int, fail func()) Unit {
+	return Unit{
+		Index:   idx,
+		Records: 10,
+		Run: func(ctx context.Context) error {
+			*calls++
+			if *calls <= failures {
+				fail()
+			}
+			return nil
+		},
+		Degraded: func(ctx context.Context) error { return nil },
+	}
+}
+
+// injectedFault panics with a *fault.Injected, the transient-by-definition
+// failure.
+func injectedFault() { panic(&fault.Injected{Site: "test.site", Hit: 1}) }
+
+func TestRetryTransientFaultSucceeds(t *testing.T) {
+	var calls int
+	u := failingUnit(0, 1, &calls, injectedFault)
+	rep, err := Supervise(nil, []Unit{u}, fastPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("Run called %d times, want 2", calls)
+	}
+	if rep.Retries != 1 || rep.Quarantined != 0 || rep.Degraded != 0 {
+		t.Fatalf("totals = %+v, want 1 retry only", rep)
+	}
+	sr := rep.Shards[0]
+	if len(sr.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(sr.Attempts))
+	}
+	if sr.Attempts[0].Outcome != OutcomeFault || sr.Attempts[0].Class != ClassTransient {
+		t.Errorf("attempt 1 = %+v, want transient fault", sr.Attempts[0])
+	}
+	if sr.Attempts[0].Backoff <= 0 {
+		t.Error("no backoff recorded before the retry")
+	}
+	if sr.Attempts[1].Outcome != OutcomeOK {
+		t.Errorf("attempt 2 = %+v, want ok", sr.Attempts[1])
+	}
+}
+
+func TestRepeatedPanicClassifiedDeterministic(t *testing.T) {
+	// A panic with an identical message on consecutive attempts is
+	// reclassified deterministic, short-circuiting the remaining budget:
+	// with MaxAttempts 3 the shard quarantines after 2 attempts.
+	var calls int
+	u := Unit{
+		Index: 0,
+		Run: func(ctx context.Context) error {
+			calls++
+			panic("index out of range [7]")
+		},
+		Degraded: func(ctx context.Context) error { return nil },
+	}
+	rep, err := Supervise(nil, []Unit{u}, fastPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("Run called %d times, want 2 (early quarantine)", calls)
+	}
+	sr := rep.Shards[0]
+	if !sr.Quarantined || !sr.Degraded {
+		t.Fatalf("shard = %+v, want quarantined+degraded", sr)
+	}
+	if sr.Attempts[0].Class != ClassTransient || sr.Attempts[1].Class != ClassDeterministic {
+		t.Errorf("classes = %s, %s; want transient then deterministic",
+			sr.Attempts[0].Class, sr.Attempts[1].Class)
+	}
+	if sr.DegradedReason == "" {
+		t.Error("no degradation reason recorded")
+	}
+}
+
+func TestEngineErrorQuarantinesImmediately(t *testing.T) {
+	// A plain engine error is deterministic: same input, same failure —
+	// retrying is wasted work.
+	var calls, degraded int
+	u := Unit{
+		Index:    3,
+		Run:      func(ctx context.Context) error { calls++; return errors.New("bad input") },
+		Degraded: func(ctx context.Context) error { degraded++; return nil },
+	}
+	rep, err := Supervise(nil, []Unit{u}, fastPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || degraded != 1 {
+		t.Fatalf("calls=%d degraded=%d, want 1/1", calls, degraded)
+	}
+	sr := rep.Shards[0]
+	if sr.Attempts[0].Outcome != OutcomeError || sr.Attempts[0].Class != ClassDeterministic {
+		t.Errorf("attempt = %+v, want deterministic error", sr.Attempts[0])
+	}
+	if rep.Retries != 0 {
+		t.Errorf("retries = %d, want 0", rep.Retries)
+	}
+}
+
+func TestNoDegradedFailsRun(t *testing.T) {
+	p := fastPolicy()
+	p.NoDegraded = true
+	u := Unit{
+		Index:    2,
+		Run:      func(ctx context.Context) error { panic(injectedErr()) },
+		Degraded: func(ctx context.Context) error { t.Fatal("degraded ran despite NoDegraded"); return nil },
+	}
+	rep, err := Supervise(nil, []Unit{u}, p, nil)
+	var se *ShardError
+	if !errors.As(err, &se) || se.Shard != 2 || se.Stage != "quarantined" {
+		t.Fatalf("err = %v, want *ShardError{Shard:2, Stage:quarantined}", err)
+	}
+	if rep == nil || len(rep.Shards) != 1 || !rep.Shards[0].Quarantined {
+		t.Fatalf("report = %+v, want the quarantined shard recorded", rep)
+	}
+	if rep.Retries != 2 {
+		t.Errorf("retries = %d, want 2 (budget 3)", rep.Retries)
+	}
+}
+
+// injectedErr builds a fresh injected-fault panic value.
+func injectedErr() *fault.Injected { return &fault.Injected{Site: "test.site", Hit: 1} }
+
+func TestNilDegradedActsAsNoDegraded(t *testing.T) {
+	u := Unit{Index: 0, Run: func(ctx context.Context) error { return errors.New("x") }}
+	_, err := Supervise(nil, []Unit{u}, fastPolicy(), nil)
+	var se *ShardError
+	if !errors.As(err, &se) || se.Stage != "quarantined" {
+		t.Fatalf("err = %v, want quarantined ShardError", err)
+	}
+}
+
+func TestDegradedFailureSurfaces(t *testing.T) {
+	u := Unit{
+		Index:    1,
+		Run:      func(ctx context.Context) error { return errors.New("primary down") },
+		Degraded: func(ctx context.Context) error { return errors.New("fallback down too") },
+	}
+	_, err := Supervise(nil, []Unit{u}, fastPolicy(), nil)
+	var se *ShardError
+	if !errors.As(err, &se) || se.Stage != "degraded" {
+		t.Fatalf("err = %v, want degraded-stage ShardError", err)
+	}
+}
+
+func TestDegradedPanicContained(t *testing.T) {
+	u := Unit{
+		Index:    0,
+		Run:      func(ctx context.Context) error { return errors.New("primary down") },
+		Degraded: func(ctx context.Context) error { panic("fallback bug") },
+	}
+	_, err := Supervise(nil, []Unit{u}, fastPolicy(), nil)
+	var se *ShardError
+	if !errors.As(err, &se) || se.Stage != "degraded" {
+		t.Fatalf("err = %v, want degraded-stage ShardError", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("cause %v does not carry the contained panic", err)
+	}
+}
+
+func TestShardDeadlineRetries(t *testing.T) {
+	p := fastPolicy()
+	p.ShardDeadline = 5 * time.Millisecond
+	var calls int
+	u := Unit{
+		Index: 0,
+		Run: func(ctx context.Context) error {
+			calls++
+			if calls == 1 {
+				<-ctx.Done() // simulate a stuck attempt: blocks until the deadline
+				return ctx.Err()
+			}
+			return nil
+		},
+	}
+	rep, err := Supervise(context.Background(), []Unit{u}, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.Shards[0]
+	if sr.Attempts[0].Outcome != OutcomeDeadline || sr.Attempts[0].Class != ClassTransient {
+		t.Fatalf("attempt 1 = %+v, want transient deadline", sr.Attempts[0])
+	}
+	if sr.Attempts[1].Outcome != OutcomeOK {
+		t.Fatalf("attempt 2 = %+v, want ok", sr.Attempts[1])
+	}
+}
+
+func TestParentCancelAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls [3]int
+	units := []Unit{
+		{Index: 0, Run: func(context.Context) error { calls[0]++; return nil }},
+		{Index: 1, Run: func(context.Context) error { calls[1]++; cancel(); return nil }},
+		{Index: 2, Run: func(context.Context) error { calls[2]++; return nil }},
+	}
+	rep, err := Supervise(ctx, units, fastPolicy(), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls[2] != 0 {
+		t.Error("shard after the cancellation still ran")
+	}
+	// Shard 1 completed (its Run returned nil before the done-check on
+	// shard 2), so the abort lands on shard 2's first attempt.
+	last := rep.Shards[len(rep.Shards)-1]
+	if last.Attempts[len(last.Attempts)-1].Outcome != OutcomeAborted {
+		t.Fatalf("last attempt = %+v, want aborted", last.Attempts[len(last.Attempts)-1])
+	}
+}
+
+func TestParentCancelDuringAttemptAborts(t *testing.T) {
+	// A failure observed while the run-level context is already done is an
+	// abort, not a shard failure: the run is resumable, nothing quarantines.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	u := Unit{Index: 0, Run: func(context.Context) error {
+		cancel()
+		return fmt.Errorf("engine saw: %w", context.Canceled)
+	}}
+	rep, err := Supervise(ctx, []Unit{u}, fastPolicy(), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Quarantined != 0 || rep.Degraded != 0 {
+		t.Fatalf("report = %+v, want no quarantine on abort", rep)
+	}
+	if got := rep.Shards[0].Attempts[0].Outcome; got != OutcomeAborted {
+		t.Fatalf("outcome = %s, want aborted", got)
+	}
+}
+
+func TestCachedShardSkipsRun(t *testing.T) {
+	u := Unit{
+		Index:  0,
+		Cached: true,
+		Run:    func(context.Context) error { t.Fatal("cached shard ran"); return nil },
+	}
+	rep, err := Supervise(nil, []Unit{u}, fastPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.Shards[0]
+	if !sr.FromCheckpoint || sr.Attempts[0].Outcome != OutcomeCheckpoint {
+		t.Fatalf("shard = %+v, want checkpoint restore", sr)
+	}
+	if rep.CheckpointHits != 1 {
+		t.Errorf("CheckpointHits = %d, want 1", rep.CheckpointHits)
+	}
+}
+
+func TestShardRetrySiteInjection(t *testing.T) {
+	// Arm a panic at SiteShardRetry: the supervisor's own retry path fires
+	// the site inside containment, so the injected panic consumes budget
+	// like any transient failure and the shard still completes.
+	in := fault.NewInjector(fault.Rule{Site: SiteShardRetry, Hit: 1, Action: fault.Panic})
+	defer fault.Activate(in)()
+	var calls int
+	u := failingUnit(0, 1, &calls, injectedFault)
+	p := fastPolicy()
+	p.MaxAttempts = 4
+	rep, err := Supervise(nil, []Unit{u}, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Hits(SiteShardRetry) < 1 {
+		t.Fatal("retry site never fired")
+	}
+	sr := rep.Shards[0]
+	// Attempt 1: unit's own injected fault. Attempt 2: SiteShardRetry panic
+	// (hit 1). Attempt 3: site hit 2 (no rule) → unit succeeds.
+	if len(sr.Attempts) != 3 || sr.Attempts[2].Outcome != OutcomeOK {
+		t.Fatalf("attempts = %+v, want fault, fault, ok", sr.Attempts)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := fastPolicy()
+	for shard := 0; shard < 50; shard++ {
+		for attempt := 1; attempt <= 5; attempt++ {
+			d1 := p.Backoff(shard, attempt)
+			d2 := p.Backoff(shard, attempt)
+			if d1 != d2 {
+				t.Fatalf("Backoff(%d,%d) not deterministic: %v vs %v", shard, attempt, d1, d2)
+			}
+			if d1 <= 0 || d1 > p.BackoffMax {
+				t.Fatalf("Backoff(%d,%d) = %v outside (0, %v]", shard, attempt, d1, p.BackoffMax)
+			}
+		}
+	}
+	// Different seeds must spread: at least one shard/attempt pair differs.
+	q := p
+	q.Seed = 43
+	same := true
+	for shard := 0; shard < 8 && same; shard++ {
+		if p.Backoff(shard, 2) != q.Backoff(shard, 2) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produce identical schedules over 8 shards")
+	}
+}
+
+func TestReportByteIdenticalAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		var c0, c1 int
+		units := []Unit{
+			failingUnit(0, 2, &c0, injectedFault),
+			failingUnit(1, 0, &c1, nil),
+			{Index: 2, Run: func(context.Context) error { return errors.New("det") },
+				Degraded: func(context.Context) error { return nil }},
+		}
+		rep, err := Supervise(nil, units, fastPolicy(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.JSON()
+	}
+	b1, b2 := run(), run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("reports differ across identical runs:\n%s\n%s", b1, b2)
+	}
+	if len(b1) == 0 || !bytes.Contains(b1, []byte(`"shards"`)) {
+		t.Fatalf("implausible report JSON: %s", b1)
+	}
+}
+
+func TestSuperviseEmitsCounters(t *testing.T) {
+	m := obs.NewMetrics()
+	o := obs.NewRun(m)
+	var c0, c1 int
+	units := []Unit{
+		failingUnit(0, 1, &c0, injectedFault),
+		{Index: 1, Run: func(context.Context) error { c1++; return errors.New("det") },
+			Degraded: func(context.Context) error { return nil }},
+		{Index: 2, Cached: true},
+	}
+	if _, err := Supervise(nil, units, fastPolicy(), o); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	want := map[string]int64{
+		obs.CounterResilientShards:         3,
+		obs.CounterResilientRetries:        1,
+		obs.CounterResilientQuarantined:    1,
+		obs.CounterResilientDegraded:       1,
+		obs.CounterResilientCheckpointHits: 1,
+	}
+	for name, n := range want {
+		if got := st.Counter(name); got != n {
+			t.Errorf("%s = %d, want %d", name, got, n)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	var calls int
+	units := []Unit{failingUnit(0, 1, &calls, injectedFault)}
+	rep, err := Supervise(nil, units, fastPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, frag := range []string{"shards=1", "retries=1", "shard 0", "fault(transient)"} {
+		if !bytes.Contains([]byte(s), []byte(frag)) {
+			t.Errorf("String() = %q lacks %q", s, frag)
+		}
+	}
+	if rep.Clean() {
+		t.Error("a retried run reported Clean")
+	}
+}

@@ -1,0 +1,225 @@
+package kanon
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"kanon/internal/core"
+	"kanon/internal/fault"
+	"kanon/internal/resilient"
+)
+
+// fastRetryPolicy keeps the supervisor's backoff out of test wall time.
+func fastRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts:      3,
+		Backoff:          10 * time.Microsecond,
+		BackoffMax:       100 * time.Microsecond,
+		Seed:             99,
+		DegradedFallback: true,
+	}
+}
+
+// resilienceCSV runs one partitioned anonymization and returns the result
+// plus its serialized output bytes.
+func resilienceCSV(t *testing.T, tbl *Table, opt Options) (*Result, []byte) {
+	t.Helper()
+	res, err := Anonymize(tbl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestFacadeResilienceReport pins the facade surface on a fault-free run:
+// a partitioned run carries a clean ResilienceReport whose totals agree
+// with the resilient.* counters in Stats(), and a non-partitioned run
+// carries none.
+func TestFacadeResilienceReport(t *testing.T) {
+	tbl := Adult(240, 11)
+	res, _ := resilienceCSV(t, tbl, Options{K: 4, Notion: NotionK, MaxChunk: 64})
+	rep := res.Resilience()
+	if rep == nil {
+		t.Fatal("partitioned run returned a nil ResilienceReport")
+	}
+	if !rep.Clean() {
+		t.Errorf("fault-free run not clean: %+v", rep)
+	}
+	if len(rep.Shards) < 2 {
+		t.Fatalf("expected ≥ 2 shards at MaxChunk 64 over 240 records, got %d", len(rep.Shards))
+	}
+	if got := res.Stats().Counter("resilient.shards"); got != int64(len(rep.Shards)) {
+		t.Errorf("resilient.shards counter = %d, report has %d shards", got, len(rep.Shards))
+	}
+	records := 0
+	for _, s := range rep.Shards {
+		records += s.Records
+	}
+	if records != tbl.Len() {
+		t.Errorf("shard records sum to %d, table has %d", records, tbl.Len())
+	}
+
+	plain, err := Anonymize(tbl, Options{K: 4, Notion: NotionK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Resilience() != nil {
+		t.Error("non-partitioned run returned a ResilienceReport")
+	}
+}
+
+// TestFacadeFaultedRunSafeAndByteIdentical is the acceptance scenario of
+// the resilience work: with seeded faults firing at every shard site, a
+// partitioned run must still complete with the full record count, produce
+// output byte-identical to the fault-free run, satisfy the k-anonymity
+// verifier, and score identically under the adversarial attack suite.
+func TestFacadeFaultedRunSafeAndByteIdentical(t *testing.T) {
+	tbl := Adult(300, 99)
+	opt := Options{K: 6, Notion: NotionK, MaxChunk: 80, RetryPolicy: fastRetryPolicy()}
+
+	_, cleanCSV := resilienceCSV(t, tbl, opt)
+	cleanRes, err := Anonymize(tbl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanAttack, err := cleanRes.AttackEvaluation(opt.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		in := fault.NewInjector(fault.Seeded(seed, 4, core.SitePartitionChunk, resilient.SiteShardRetry)...)
+		deactivate := fault.Activate(in)
+		res, faultedCSV := resilienceCSV(t, tbl, opt)
+		deactivate()
+
+		if res.Len() != tbl.Len() {
+			t.Fatalf("seed %d: faulted run lost records: %d of %d", seed, res.Len(), tbl.Len())
+		}
+		if !bytes.Equal(faultedCSV, cleanCSV) {
+			t.Errorf("seed %d: faulted output differs from the fault-free run", seed)
+		}
+		if rep := res.Verify(opt.K); !rep.KAnonymous {
+			t.Errorf("seed %d: faulted output is not %d-anonymous: %+v", seed, opt.K, rep)
+		}
+		attack, err := res.AttackEvaluation(opt.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attack != cleanAttack {
+			t.Errorf("seed %d: attack evaluation drifted under faults\n  got  %+v\n  want %+v", seed, attack, cleanAttack)
+		}
+		if in.Hits(core.SitePartitionChunk) == 0 {
+			t.Errorf("seed %d: no faults actually fired at the shard site", seed)
+		}
+	}
+}
+
+// TestFacadeDegradedCompletionKeepsGuarantee drives a shard past its
+// entire retry budget so it quarantines and completes on the degraded
+// (reference) engine — and proves the k-guarantee and the output bytes
+// survive the degradation.
+func TestFacadeDegradedCompletionKeepsGuarantee(t *testing.T) {
+	tbl := Adult(240, 11)
+	opt := Options{K: 4, Notion: NotionK, MaxChunk: 64}
+	_, cleanCSV := resilienceCSV(t, tbl, opt)
+
+	opt.RetryPolicy = fastRetryPolicy()
+	in := fault.NewInjector(
+		fault.Rule{Site: core.SitePartitionChunk, Hit: 1, Action: fault.Panic},
+		fault.Rule{Site: core.SitePartitionChunk, Hit: 2, Action: fault.Panic},
+		fault.Rule{Site: core.SitePartitionChunk, Hit: 3, Action: fault.Panic},
+	)
+	deactivate := fault.Activate(in)
+	res, degradedCSV := resilienceCSV(t, tbl, opt)
+	deactivate()
+
+	rep := res.Resilience()
+	if rep == nil || rep.Degraded != 1 || rep.Quarantined != 1 {
+		t.Fatalf("expected exactly one quarantined+degraded shard, got %+v", rep)
+	}
+	if out := rep.Shards[0]; !out.Degraded || out.DegradedReason == "" || out.Attempts != opt.RetryPolicy.MaxAttempts {
+		t.Errorf("shard 0 outcome %+v: want degraded after %d attempts with a reason", out, opt.RetryPolicy.MaxAttempts)
+	}
+	if !bytes.Equal(degradedCSV, cleanCSV) {
+		t.Error("degraded completion changed the output bytes")
+	}
+	if vr := res.Verify(opt.K); !vr.KAnonymous {
+		t.Errorf("degraded output is not %d-anonymous: %+v", opt.K, vr)
+	}
+}
+
+// TestFacadeNoDegradedFallbackFailsRun pins the strict mode: with
+// DegradedFallback off, a quarantined shard fails the whole run instead of
+// completing degraded.
+func TestFacadeNoDegradedFallbackFailsRun(t *testing.T) {
+	tbl := Adult(240, 11)
+	rp := fastRetryPolicy()
+	rp.MaxAttempts = 1
+	rp.DegradedFallback = false
+	in := fault.NewInjector(fault.Rule{Site: core.SitePartitionChunk, Hit: 1, Action: fault.Panic})
+	deactivate := fault.Activate(in)
+	defer deactivate()
+	_, err := Anonymize(tbl, Options{K: 4, Notion: NotionK, MaxChunk: 64, RetryPolicy: rp})
+	if err == nil {
+		t.Fatal("expected the run to fail without the degraded fallback")
+	}
+	var se *resilient.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v (%T) does not unwrap to *resilient.ShardError", err, err)
+	}
+	if se.Shard != 0 {
+		t.Errorf("failing shard = %d, want 0", se.Shard)
+	}
+}
+
+// TestFacadeCheckpointResume collects shard checkpoints via OnShard and
+// replays them via CompletedShards: every shard must restore as a
+// checkpoint hit, and the resumed output must be byte-identical.
+func TestFacadeCheckpointResume(t *testing.T) {
+	tbl := Adult(240, 11)
+	opt := Options{K: 4, Notion: NotionK, MaxChunk: 64}
+
+	var collected []ShardCheckpoint
+	opt.OnShard = func(ck ShardCheckpoint) { collected = append(collected, ck) }
+	res, firstCSV := resilienceCSV(t, tbl, opt)
+	if len(collected) != len(res.Resilience().Shards) {
+		t.Fatalf("OnShard fired %d times for %d shards", len(collected), len(res.Resilience().Shards))
+	}
+
+	opt.OnShard = nil
+	opt.CompletedShards = collected
+	resumed, resumedCSV := resilienceCSV(t, tbl, opt)
+	rep := resumed.Resilience()
+	if rep.CheckpointHits != len(collected) {
+		t.Errorf("CheckpointHits = %d, want %d", rep.CheckpointHits, len(collected))
+	}
+	for _, s := range rep.Shards {
+		if !s.FromCheckpoint {
+			t.Errorf("shard %d was recomputed despite a valid checkpoint", s.Shard)
+		}
+	}
+	if !bytes.Equal(resumedCSV, firstCSV) {
+		t.Error("resumed output differs from the original run")
+	}
+
+	// A parameter change invalidates the signatures: the checkpoints must
+	// be ignored, not trusted into a wrong-k release.
+	stale := Options{K: 5, Notion: NotionK, MaxChunk: 64, CompletedShards: collected}
+	staleRes, err := Anonymize(tbl, stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := staleRes.Resilience().CheckpointHits; hits != 0 {
+		t.Errorf("stale checkpoints scored %d hits, want 0", hits)
+	}
+	if vr := staleRes.Verify(5); !vr.KAnonymous {
+		t.Errorf("run with stale checkpoints is not 5-anonymous: %+v", vr)
+	}
+}
