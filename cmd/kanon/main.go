@@ -29,35 +29,38 @@ import (
 
 func main() {
 	var (
-		inPath    = flag.String("in", "", "input CSV file (default stdin)")
-		hierPath  = flag.String("hier", "", "JSON generalization-hierarchy spec (optional)")
-		outPath   = flag.String("out", "", "output CSV file (default stdout)")
-		noHeader  = flag.Bool("no-header", false, "input CSV has no header row")
-		k         = flag.Int("k", 10, "anonymity parameter k")
-		notion    = flag.String("notion", "kk", "anonymity notion: k, kk, global")
-		measure   = flag.String("measure", "entropy", "loss measure: entropy, monotone-entropy, lm, tree, suppression")
-		distance  = flag.String("distance", "d3", "agglomerative distance (notion=k): d1..d4, nc")
-		modified  = flag.Bool("modified", false, "use the modified agglomerative algorithm (notion=k)")
-		forest    = flag.Bool("forest", false, "use the forest baseline algorithm (notion=k)")
-		fullDom   = flag.Bool("full-domain", false, "use optimal full-domain (global recoding) generalization (notion=k)")
-		nearest   = flag.Bool("nearest", false, "seed (k,k)/global with Algorithm 3 instead of Algorithm 4")
-		verify    = flag.Bool("verify", false, "verify the output against all notions (quadratic)")
-		attackRpt = flag.Bool("attack", false, "run the adversarial evaluation suite against the output and print the risk report (quadratic)")
-		diversity = flag.Int("diversity", 0, "require distinct ℓ-diversity of the sensitive attribute (needs -sensitive)")
-		sensPath  = flag.String("sensitive", "", "file with one sensitive value per record (enables -diversity)")
-		autoHier  = flag.Int("auto-hier", 0, "infer interval hierarchies for numeric attributes (base bucket width, 0=off)")
-		workers   = flag.Int("workers", 0, "worker pool size for the parallel anonymizers (0 = all CPUs, 1 = sequential; output is identical)")
-		kernel    = flag.String("kernel", "on", "flat distance kernel for the agglomerative engine: on, off (output is identical)")
-		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no limit)")
-		maxRec    = flag.Int("max-records", 0, "fail fast when the input has more than this many records (0 = no limit)")
-		stats     = flag.Bool("stats", false, "print the run's statistics (phases, counters, peaks) as JSON on stderr")
-		profile   = flag.String("profile", "", "write cpu.pprof, heap.pprof and trace.out into this directory")
-		maxChunk  = flag.Int("max-chunk", 0, "switch notion=k to the sharded partitioned pipeline with chunks of at most this many records (0 = off)")
-		retries   = flag.Int("retries", 0, "shard attempts per partitioned shard, including the first (0 = default 3; needs -max-chunk)")
-		degraded  = flag.Bool("degraded", true, "complete shards that exhaust their retry budget with the reference engine instead of failing the run (needs -max-chunk)")
-		retrySeed = flag.Int64("retry-seed", 0, "seed of the deterministic shard-retry backoff schedule (needs -max-chunk)")
-		shardDL   = flag.Duration("shard-deadline", 0, "per-attempt deadline for each partitioned shard (e.g. 30s; 0 = no limit; needs -max-chunk)")
-		shardCkpt = flag.String("shard-checkpoint", "", "JSONL file of completed-shard checkpoints: existing entries resume the run, new shards are appended (needs -max-chunk)")
+		inPath     = flag.String("in", "", "input CSV file (default stdin)")
+		hierPath   = flag.String("hier", "", "JSON generalization-hierarchy spec (optional)")
+		outPath    = flag.String("out", "", "output CSV file (default stdout)")
+		noHeader   = flag.Bool("no-header", false, "input CSV has no header row")
+		k          = flag.Int("k", 10, "anonymity parameter k")
+		notion     = flag.String("notion", "kk", "anonymity notion: k, kk, global")
+		measure    = flag.String("measure", "entropy", "loss measure: entropy, monotone-entropy, lm, tree, suppression")
+		distance   = flag.String("distance", "d3", "agglomerative distance (notion=k): d1..d4, nc")
+		modified   = flag.Bool("modified", false, "use the modified agglomerative algorithm (notion=k)")
+		forest     = flag.Bool("forest", false, "use the forest baseline algorithm (notion=k)")
+		fullDom    = flag.Bool("full-domain", false, "use optimal full-domain (global recoding) generalization (notion=k)")
+		nearest    = flag.Bool("nearest", false, "seed (k,k)/global with Algorithm 3 instead of Algorithm 4")
+		verify     = flag.Bool("verify", false, "verify the output against all notions (quadratic)")
+		attackRpt  = flag.Bool("attack", false, "run the adversarial evaluation suite against the output and print the risk report (quadratic)")
+		diversity  = flag.Int("diversity", 0, "require distinct ℓ-diversity of the sensitive attribute (needs -sensitive)")
+		constraint = flag.String("constraint", "", "privacy constraints on the sensitive attribute, comma-separated name=value specs: distinct=L, entropy=L, recursive=C/L, tclose=T (needs -sensitive)")
+		lFlag      = flag.Int("l", 0, "shorthand for -constraint distinct=L")
+		tFlag      = flag.Float64("t", -1, "shorthand for -constraint tclose=T")
+		sensPath   = flag.String("sensitive", "", "file with one sensitive value per record (enables -diversity and -constraint)")
+		autoHier   = flag.Int("auto-hier", 0, "infer interval hierarchies for numeric attributes (base bucket width, 0=off)")
+		workers    = flag.Int("workers", 0, "worker pool size for the parallel anonymizers (0 = all CPUs, 1 = sequential; output is identical)")
+		kernel     = flag.String("kernel", "on", "flat distance kernel for the agglomerative engine: on, off (output is identical)")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no limit)")
+		maxRec     = flag.Int("max-records", 0, "fail fast when the input has more than this many records (0 = no limit)")
+		stats      = flag.Bool("stats", false, "print the run's statistics (phases, counters, peaks) as JSON on stderr")
+		profile    = flag.String("profile", "", "write cpu.pprof, heap.pprof and trace.out into this directory")
+		maxChunk   = flag.Int("max-chunk", 0, "switch notion=k to the sharded partitioned pipeline with chunks of at most this many records (0 = off)")
+		retries    = flag.Int("retries", 0, "shard attempts per partitioned shard, including the first (0 = default 3; needs -max-chunk)")
+		degraded   = flag.Bool("degraded", true, "complete shards that exhaust their retry budget with the reference engine instead of failing the run (needs -max-chunk)")
+		retrySeed  = flag.Int64("retry-seed", 0, "seed of the deterministic shard-retry backoff schedule (needs -max-chunk)")
+		shardDL    = flag.Duration("shard-deadline", 0, "per-attempt deadline for each partitioned shard (e.g. 30s; 0 = no limit; needs -max-chunk)")
+		shardCkpt  = flag.String("shard-checkpoint", "", "JSONL file of completed-shard checkpoints: existing entries resume the run, new shards are appended (needs -max-chunk)")
 	)
 	flag.Parse()
 
@@ -75,6 +78,18 @@ func main() {
 		NoKernel:   *kernel == "off",
 		MaxChunk:   *maxChunk,
 	}
+	cons, err := kanon.ParseConstraints(*constraint)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kanon: bad -constraint: %v\n", err)
+		os.Exit(2)
+	}
+	if *lFlag > 0 {
+		cons = append(cons, kanon.DistinctDiversity(*lFlag))
+	}
+	if *tFlag >= 0 {
+		cons = append(cons, kanon.Closeness(*tFlag))
+	}
+	opt.Constraints = cons
 	if *retries > 0 || !*degraded || *retrySeed != 0 {
 		rp := kanon.DefaultRetryPolicy()
 		if *retries > 0 {
@@ -148,6 +163,8 @@ func flagFor(field string) string {
 		return "shard-deadline"
 	case "OnShard", "CompletedShards":
 		return "shard-checkpoint"
+	case "Constraints":
+		return "constraint"
 	default:
 		return strings.ToLower(field)
 	}
@@ -329,6 +346,14 @@ func run(ctx context.Context, c runConfig) error {
 				fmt.Fprintf(os.Stderr, "  shard %d (%d records) degraded: %s\n", sh.Shard, sh.Records, sh.DegradedReason)
 			}
 		}
+	}
+	report, err := res.ConstraintReport()
+	if err != nil {
+		return err
+	}
+	for _, cs := range report {
+		fmt.Fprintf(os.Stderr, "constraint %s: satisfied=%v violations=%d classes=%d metric=[%.3f, %.3f]\n",
+			cs.Constraint, cs.Satisfied, cs.Violations, cs.Classes, cs.MinMetric, cs.MaxMetric)
 	}
 	if opt.Notion == kanon.NotionGlobal1K {
 		fmt.Fprintf(os.Stderr, "global upgrade: %d deficient records, %d widening steps\n",

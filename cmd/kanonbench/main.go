@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table1", "experiment: table1, fig2, fig3, distances, modified, k1, global, recoding, queries, diversity, scale, attack, all")
+		exp     = flag.String("exp", "table1", "experiment: table1, fig2, fig3, distances, modified, k1, global, recoding, queries, diversity, scale, attack, constraints, all")
 		full    = flag.Bool("full", false, "paper-scale dataset sizes")
 		verify  = flag.Bool("verify", false, "verify every output against the anonymity definitions (slow)")
 		verbose = flag.Bool("v", false, "print one line per completed run")
@@ -360,6 +360,16 @@ func (r *runner) collect(exp string) (interface{}, string, error) {
 			all = append(all, res...)
 		}
 		return all, experiment.FormatDiversity(all), nil
+	case "constraints":
+		var all []experiment.ConstraintResult
+		for _, d := range []string{"ART", "ADT", "CMC"} {
+			res, err := r.cfg.RunConstraints(d)
+			if err != nil {
+				return nil, "", err
+			}
+			all = append(all, res...)
+		}
+		return all, experiment.FormatConstraints(all), nil
 	case "attack":
 		var all []experiment.AttackResult
 		for _, d := range []string{"ART", "ADT", "CMC"} {
@@ -414,6 +424,7 @@ func writeFigureSVG(dir, name string, blk *experiment.Block) error {
 var allExperiments = []string{
 	"table1", "fig2", "fig3", "distances", "modified", "k1",
 	"global", "recoding", "queries", "diversity", "scale", "attack",
+	"constraints",
 }
 
 func (r *runner) run(w io.Writer, exp string, asJSON bool) error {

@@ -1,0 +1,45 @@
+// Package deprecated implements the kanonlint analyzer that keeps retired
+// API surface retired. When a deprecation cycle completes (announce →
+// migrate callers → delete), nothing stops a later change from quietly
+// reintroducing the old name — reviewers have no reason to remember a
+// field deleted months ago. This analyzer is that memory: it holds the
+// deny-list of names the project has deliberately removed and flags any
+// declaration or use of them in non-test code.
+package deprecated
+
+import (
+	"go/ast"
+
+	"kanon/internal/analysis"
+)
+
+// retired maps each removed name to the replacement reviewers should
+// point authors at. Result.UpgradeStats (PR 3's deprecation, deleted when
+// the constraint API landed) is the first entry.
+var retired = map[string]string{
+	"UpgradeStats": "Result.Stats() core.global.* counters",
+}
+
+// Analyzer flags declarations and uses of retired API names.
+var Analyzer = &analysis.Analyzer{
+	Name: "deprecated",
+	Doc: "forbid reintroducing retired API names (e.g. Result.UpgradeStats): " +
+		"each completed deprecation stays deleted; the deny-list names the replacement",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if repl, gone := retired[id.Name]; gone {
+				pass.Reportf(id.Pos(), "%s was removed after its deprecation cycle; use %s instead", id.Name, repl)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package deprecated_test
+
+import (
+	"testing"
+
+	"kanon/internal/analysis/analysistest"
+	"kanon/internal/analysis/deprecated"
+)
+
+// TestDeprecatedFindings pins that reintroducing a retired name — as a
+// struct field, a method, or a use — is flagged, and that //kanon:allow
+// suppresses a reviewed exception.
+func TestDeprecatedFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/dep", "kanon", deprecated.Analyzer)
+}

@@ -1,0 +1,30 @@
+// Golden cases for the deprecated analyzer: every way the retired
+// Result.UpgradeStats surface could creep back in.
+package dep
+
+type GlobalStats struct{ Steps int }
+
+// reintroducing the field is the primary case the analyzer exists for.
+type Result struct {
+	UpgradeStats *GlobalStats // want "UpgradeStats was removed"
+}
+
+// a method of the same name is just as much a reintroduction.
+func (r *Result) fetch() *GlobalStats {
+	return r.UpgradeStats // want "UpgradeStats was removed"
+}
+
+// free-standing declarations count too.
+func UpgradeStats() *GlobalStats { // want "UpgradeStats was removed"
+	return nil
+}
+
+// renamedStats shows the sanctioned path: new names, Stats()-style.
+func renamedStats(r *Result) *GlobalStats {
+	return r.fetch()
+}
+
+// allowedUse shows the suppression form for a reviewed exception.
+type compat struct {
+	UpgradeStats int //kanon:allow deprecated -- reviewed: wire-format compatibility shim
+}

@@ -43,9 +43,9 @@ type site struct {
 
 func run(pass *analysis.Pass) error {
 	var sites []site
-	injected := map[string]bool{}  // site string value → has Inject call
-	testRefs := map[string]bool{}  // constant name → referenced from a test file
-	var nonConst []token.Pos       // Inject calls with non-constant site
+	injected := map[string]bool{} // site string value → has Inject call
+	testRefs := map[string]bool{} // constant name → referenced from a test file
+	var nonConst []token.Pos      // Inject calls with non-constant site
 	injectedAt := map[string][]token.Pos{}
 
 	for _, pkg := range pass.Program.Packages {

@@ -6,6 +6,7 @@ package suite
 import (
 	"kanon/internal/analysis"
 	"kanon/internal/analysis/ctxflow"
+	"kanon/internal/analysis/deprecated"
 	"kanon/internal/analysis/determinism"
 	"kanon/internal/analysis/faultsite"
 	"kanon/internal/analysis/nogoroutine"
@@ -16,6 +17,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer,
+		deprecated.Analyzer,
 		determinism.Analyzer,
 		faultsite.Analyzer,
 		nogoroutine.Analyzer,

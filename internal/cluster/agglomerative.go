@@ -51,13 +51,14 @@ type AggloOptions struct {
 	// singletons.
 	Modified bool
 
-	// MinDiversity, when > 1, additionally requires every final cluster to
-	// contain at least MinDiversity distinct values of Sensitive — the
-	// distinct ℓ-diversity constraint of Machanavajjhala et al., which
-	// Section II of the paper marks as a natural extension of the
-	// framework. Sensitive must then hold one value per record.
-	MinDiversity int
-	Sensitive    []int
+	// Constraints, when non-empty, additionally requires every final
+	// cluster to satisfy each constraint over the Sensitive column —
+	// distinct/entropy/recursive ℓ-diversity or t-closeness (constraint.go),
+	// which Section II of the paper marks as natural extensions of the
+	// framework. Sensitive must then hold one value per record (a
+	// non-negative value id). Nil and Trivial() entries are ignored.
+	Constraints []Constraint
+	Sensitive   []int
 
 	// Workers caps the engine's worker pool: 1 forces the purely sequential
 	// path, 0 (the default) sizes the pool to runtime.NumCPU(). Sharding is
@@ -143,23 +144,30 @@ func AgglomerateStatsCtx(ctx context.Context, s *Space, tbl *table.Table, opt Ag
 	if opt.K > n {
 		return nil, stats, fmt.Errorf("cluster: k=%d exceeds table size n=%d", opt.K, n)
 	}
-	if opt.MinDiversity > 1 {
+	active := opt.Constraints[:0:0]
+	for _, c := range opt.Constraints {
+		if c != nil && !c.Trivial() {
+			active = append(active, c)
+		}
+	}
+	var bound []Bound
+	if len(active) > 0 {
 		if len(opt.Sensitive) != n {
 			return nil, stats, fmt.Errorf("cluster: %d sensitive values for %d records", len(opt.Sensitive), n)
 		}
-		distinct := make(map[int]bool)
-		for _, v := range opt.Sensitive {
-			distinct[v] = true
-		}
-		if len(distinct) < opt.MinDiversity {
-			return nil, stats, fmt.Errorf("cluster: table has %d distinct sensitive values, %d-diversity unattainable",
-				len(distinct), opt.MinDiversity)
+		bound = make([]Bound, len(active))
+		for i, c := range active {
+			b, err := c.Bind(opt.Sensitive)
+			if err != nil {
+				return nil, stats, err
+			}
+			bound[i] = b
 		}
 	}
 	if n == 0 {
 		return nil, stats, nil
 	}
-	if opt.K <= 1 && opt.MinDiversity <= 1 {
+	if opt.K <= 1 && len(bound) == 0 {
 		// Every singleton already satisfies the size constraint; the optimal
 		// clustering is the identity.
 		out := make([]*Cluster, n)
@@ -172,7 +180,12 @@ func AgglomerateStatsCtx(ctx context.Context, s *Space, tbl *table.Table, opt Ag
 	if par.Done(ctx) {
 		return nil, stats, ctx.Err()
 	}
-	e := &aggloEngine{s: s, tbl: tbl, opt: opt, ctx: ctx, o: obs.From(ctx)}
+	e := &aggloEngine{s: s, tbl: tbl, opt: opt, ctx: ctx, o: obs.From(ctx), cons: bound}
+	for _, b := range bound {
+		if !b.AdditionSafe() {
+			e.guardAbsorb = true
+		}
+	}
 	if !opt.NoKernel {
 		e.kern = newKernel(s, opt.Distance)
 	}
@@ -270,12 +283,19 @@ type aggloEngine struct {
 	needScan  []bool
 
 	// Kernel-mode scratch, reused across merges: the newborn-id list of
-	// each merge, the shrink prefix/suffix closure slabs, and the shrink
-	// diversity counts.
+	// each merge and the shrink prefix/suffix closure slabs.
 	addedScratch []int
 	shrinkPre    []int32
 	shrinkSuf    []int32
-	shrinkCounts map[int]int
+
+	// cons holds the run's bound privacy constraints (empty when
+	// unconstrained). Constraint state is mutated only on the driving
+	// goroutine — merge validity checks, shrink eviction gates and absorb
+	// admissibility all run between pool calls — so pool workers never see
+	// it. guardAbsorb is set when any bound is not addition-safe, arming
+	// the constraint-aware absorb path.
+	cons        []Bound
+	guardAbsorb bool
 
 	distEvals atomic.Int64
 	// shrinkEvals counts the distance evaluations of the Algorithm 2
@@ -375,7 +395,7 @@ func (e *aggloEngine) run() error {
 			mergedSize = merged.Size()
 			e.kill(a)
 			e.kill(b)
-			if merged.Size() >= e.opt.K && e.diverseEnough(merged) {
+			if merged.Size() >= e.opt.K && e.constraintsOK(merged.Members) {
 				if e.opt.Modified && merged.Size() > e.opt.K {
 					removed := e.shrink(merged)
 					for _, ri := range removed {
@@ -691,55 +711,97 @@ func (e *aggloEngine) repairNN(a, b int, added []int) {
 	}
 }
 
-// diverseEnough reports whether the cluster meets the optional distinct
-// ℓ-diversity constraint.
-func (e *aggloEngine) diverseEnough(c *Cluster) bool {
-	if e.opt.MinDiversity <= 1 {
-		return true
-	}
-	seen := make(map[int]bool, e.opt.MinDiversity)
-	for _, i := range c.Members {
-		seen[e.opt.Sensitive[i]] = true
-		if len(seen) >= e.opt.MinDiversity {
-			return true
+// constraintsOK reports whether a cluster with the given member list
+// satisfies every bound constraint. Each bound accumulates the members in
+// order, stopping early once the constraint is Decided (monotone
+// constraints only). Driving goroutine only.
+func (e *aggloEngine) constraintsOK(members []int) bool {
+	for _, b := range e.cons {
+		b.Reset()
+		sat := false
+		for _, ri := range members {
+			b.Add(ri)
+			if b.Decided() {
+				sat = true
+				break
+			}
+		}
+		if !sat && !b.Satisfied() {
+			return false
 		}
 	}
-	return false
+	return true
 }
 
-// membersDiverseEnough is diverseEnough over a raw member list.
-func (e *aggloEngine) membersDiverseEnough(members []int) bool {
-	if e.opt.MinDiversity <= 1 {
-		return true
-	}
-	seen := make(map[int]bool, e.opt.MinDiversity)
-	for _, i := range members {
-		seen[e.opt.Sensitive[i]] = true
-		if len(seen) >= e.opt.MinDiversity {
-			return true
+// beginShrink loads the ripe cluster's members into every bound, arming
+// the canEvict/commitEvict gates of the Algorithm 2 shrink. The bounds
+// then track the shrinking member set incrementally across rounds.
+func (e *aggloEngine) beginShrink(members []int) {
+	for _, b := range e.cons {
+		b.Reset()
+		for _, ri := range members {
+			b.Add(ri)
 		}
 	}
-	return false
+}
+
+// canEvict reports whether evicting ri keeps every constraint satisfied.
+func (e *aggloEngine) canEvict(ri int) bool {
+	for _, b := range e.cons {
+		if !b.CanEvict(ri) {
+			return false
+		}
+	}
+	return true
+}
+
+// commitEvict records ri's eviction in every bound.
+func (e *aggloEngine) commitEvict(ri int) {
+	for _, b := range e.cons {
+		b.Evict(ri)
+	}
+}
+
+// absorbAllowed reports whether adding record ri to final cluster f keeps
+// every non-addition-safe constraint satisfied. Addition-safe constraints
+// (distinct ℓ-diversity) need no check — a satisfying cluster stays
+// satisfying under any addition — which keeps the legacy absorb path, and
+// its byte-exact absorption order, untouched for them.
+func (e *aggloEngine) absorbAllowed(f *Cluster, ri int) bool {
+	for _, b := range e.cons {
+		if b.AdditionSafe() {
+			continue
+		}
+		b.Reset()
+		for _, mi := range f.Members {
+			b.Add(mi)
+		}
+		if !b.SatisfiedWithAdd(ri) {
+			return false
+		}
+	}
+	return true
 }
 
 // shrink implements Algorithm 2: repeatedly evict from the ripe cluster c
 // the member R̂_i maximizing dist(Ŝ, Ŝ\{R̂_i}) until |c| = K. Evictions
-// that would violate the diversity constraint are skipped; if none is
+// that would violate a privacy constraint are skipped; if none is
 // admissible the cluster is left larger than K, which remains valid. c is
 // mutated in place and the evicted record indices returned.
 func (e *aggloEngine) shrink(c *Cluster) []int {
 	var removed []int
+	e.beginShrink(c.Members)
 	for c.Size() > e.opt.K {
 		bestIdx, bestD := -1, math.Inf(-1)
 		var bestRest *Cluster
 		evals := int64(0)
 		for mi := range c.Members {
+			if !e.canEvict(c.Members[mi]) {
+				continue
+			}
 			rest := make([]int, 0, c.Size()-1)
 			rest = append(rest, c.Members[:mi]...)
 			rest = append(rest, c.Members[mi+1:]...)
-			if !e.membersDiverseEnough(rest) {
-				continue
-			}
 			restCl := e.s.NewCluster(e.tbl, rest)
 			// dist(Ŝ, Ŝ\{R̂_i}): the union of the two sets is Ŝ itself.
 			d := e.opt.Distance.Eval(c.Size(), restCl.Size(), c.Size(), c.Cost, restCl.Cost, c.Cost)
@@ -750,9 +812,11 @@ func (e *aggloEngine) shrink(c *Cluster) []int {
 		}
 		e.distEvals.Add(evals)
 		if bestIdx < 0 {
-			break // every eviction would break diversity
+			break // every eviction would break a constraint
 		}
-		removed = append(removed, c.Members[bestIdx])
+		evicted := c.Members[bestIdx]
+		removed = append(removed, evicted)
+		e.commitEvict(evicted)
 		c.Members = bestRest.Members
 		c.Closure = bestRest.Closure
 		c.Cost = bestRest.Cost
@@ -762,10 +826,15 @@ func (e *aggloEngine) shrink(c *Cluster) []int {
 
 // absorb adds record ri to the final cluster minimizing dist({R_ri}, S),
 // updating that cluster's closure and cost. Absorption order matters (each
-// absorption widens a final closure), so this stays sequential.
+// absorption widens a final closure), so this stays sequential. Under a
+// non-addition-safe constraint the nearest cluster that stays satisfying
+// wins instead; if none does, the unconstrained nearest takes the record —
+// absorption is best-effort (ConstraintReport on the facade audits the
+// final release).
 func (e *aggloEngine) absorb(ri int) {
 	single := e.s.NewSingleton(e.tbl, ri)
 	bestIdx, bestD := -1, math.Inf(1)
+	okIdx, okD := -1, math.Inf(1)
 	r := e.s.NumAttrs()
 	for fi, f := range e.final {
 		sum := 0.0
@@ -778,8 +847,14 @@ func (e *aggloEngine) absorb(ri int) {
 		if d < bestD {
 			bestIdx, bestD = fi, d
 		}
+		if e.guardAbsorb && d < okD && e.absorbAllowed(f, ri) {
+			okIdx, okD = fi, d
+		}
 	}
 	e.distEvals.Add(int64(len(e.final)))
+	if okIdx >= 0 {
+		bestIdx = okIdx
+	}
 	if bestIdx < 0 {
 		// No final cluster exists (n < 2k and everything stayed unripe is
 		// excluded by the k ≤ n guard, but stay safe): promote the singleton.

@@ -197,7 +197,7 @@ func TestAgglomerateDiversityRipeness(t *testing.T) {
 	for _, modified := range []bool{false, true} {
 		clusters, err := Agglomerate(s, tbl, AggloOptions{
 			K: k, Distance: D3{}, Modified: modified,
-			MinDiversity: l, Sensitive: sens,
+			Constraints: []Constraint{DistinctLDiversity(l)}, Sensitive: sens,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -219,11 +219,12 @@ func TestAgglomerateDiversityRipeness(t *testing.T) {
 func TestAgglomerateDiversityValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(68))
 	s, tbl := randomSpace(t, rng, 10)
-	if _, err := Agglomerate(s, tbl, AggloOptions{K: 2, Distance: D3{}, MinDiversity: 2, Sensitive: []int{1}}); err == nil {
+	diverse2 := []Constraint{DistinctLDiversity(2)}
+	if _, err := Agglomerate(s, tbl, AggloOptions{K: 2, Distance: D3{}, Constraints: diverse2, Sensitive: []int{1}}); err == nil {
 		t.Error("expected sensitive-length error")
 	}
 	uniform := make([]int, tbl.Len())
-	if _, err := Agglomerate(s, tbl, AggloOptions{K: 2, Distance: D3{}, MinDiversity: 2, Sensitive: uniform}); err == nil {
+	if _, err := Agglomerate(s, tbl, AggloOptions{K: 2, Distance: D3{}, Constraints: diverse2, Sensitive: uniform}); err == nil {
 		t.Error("expected unattainable-diversity error")
 	}
 }
@@ -237,7 +238,7 @@ func TestAgglomerateDiversityWithKOne(t *testing.T) {
 	for i := range sens {
 		sens[i] = i % 2
 	}
-	clusters, err := Agglomerate(s, tbl, AggloOptions{K: 1, Distance: D2{}, MinDiversity: 2, Sensitive: sens})
+	clusters, err := Agglomerate(s, tbl, AggloOptions{K: 1, Distance: D2{}, Constraints: []Constraint{DistinctLDiversity(2)}, Sensitive: sens})
 	if err != nil {
 		t.Fatal(err)
 	}

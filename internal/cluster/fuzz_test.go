@@ -71,8 +71,10 @@ func FuzzAgglomerate(f *testing.F) {
 			Modified: mode&1 != 0,
 			Workers:  1,
 		}
+		minDiv := 0
 		if mode&2 != 0 {
-			opt.MinDiversity = 2
+			minDiv = 2
+			opt.Constraints = []Constraint{DistinctLDiversity(minDiv)}
 			opt.Sensitive = sensitive
 		}
 		seq, seqErr := Agglomerate(s, tbl, opt)
@@ -95,14 +97,14 @@ func FuzzAgglomerate(f *testing.F) {
 			minSize = 1
 		}
 		checkClustering(t, s, tbl, seq, minSize)
-		if opt.MinDiversity > 1 {
+		if minDiv > 1 {
 			for ci, c := range seq {
 				distinct := make(map[int]bool)
 				for _, i := range c.Members {
 					distinct[sensitive[i]] = true
 				}
-				if len(distinct) < opt.MinDiversity {
-					t.Errorf("cluster %d has %d distinct sensitive values, want ≥ %d", ci, len(distinct), opt.MinDiversity)
+				if len(distinct) < minDiv {
+					t.Errorf("cluster %d has %d distinct sensitive values, want ≥ %d", ci, len(distinct), minDiv)
 				}
 			}
 		}

@@ -300,7 +300,7 @@ func (e *aggloEngine) mergeK(a, b int, added []int) ([]int, int) {
 	e.mNext[e.mTail[a]] = e.mHead[b]
 	e.kill(a)
 	e.kill(b)
-	if size >= e.opt.K && e.chainDiverseEnoughK(head) {
+	if size >= e.opt.K && e.constraintsOKChain(head) {
 		c := e.materializeK(row, cost, head, size)
 		if e.opt.Modified && size > e.opt.K {
 			removed := e.shrinkK(c)
@@ -333,19 +333,23 @@ func (e *aggloEngine) materializeK(row []int32, cost float64, head int32, size i
 	return &Cluster{Closure: cl, Members: members, Cost: cost}
 }
 
-// chainDiverseEnoughK is diverseEnough over a member chain.
-func (e *aggloEngine) chainDiverseEnoughK(head int32) bool {
-	if e.opt.MinDiversity <= 1 {
-		return true
-	}
-	seen := make(map[int]bool, e.opt.MinDiversity)
-	for ri := head; ri >= 0; ri = e.mNext[ri] {
-		seen[e.opt.Sensitive[ri]] = true
-		if len(seen) >= e.opt.MinDiversity {
-			return true
+// constraintsOKChain is constraintsOK over a member chain.
+func (e *aggloEngine) constraintsOKChain(head int32) bool {
+	for _, b := range e.cons {
+		b.Reset()
+		sat := false
+		for ri := head; ri >= 0; ri = e.mNext[ri] {
+			b.Add(int(ri))
+			if b.Decided() {
+				sat = true
+				break
+			}
+		}
+		if !sat && !b.Satisfied() {
+			return false
 		}
 	}
-	return false
+	return true
 }
 
 // shrinkK is the kernel-mode Algorithm 2 shrink. The reference shrink
@@ -355,31 +359,15 @@ func (e *aggloEngine) chainDiverseEnoughK(head int32) bool {
 // reusable scratch slabs (closure is a semilattice join, so
 // prefix[i] ∨ suffix[i+1] is exactly the closure of the rest set), making
 // a round O(|c|·r) with zero allocations. Candidate order, the strict
-// d > bestD tie-break, the diversity-skip condition and every float64
-// summation order match the reference bit for bit.
+// d > bestD tie-break, the constraint-skip condition and every float64
+// summation order match the reference bit for bit: both paths drive the
+// same Bound accumulators (beginShrink/canEvict/commitEvict), loaded once
+// here and updated incrementally across rounds.
 func (e *aggloEngine) shrinkK(c *Cluster) []int {
 	k := e.kern
 	r := k.r
 	var removed []int
-	// Distinct-value counts for the ℓ-diversity eviction gate, maintained
-	// incrementally across rounds: evicting x is inadmissible iff it would
-	// drop the distinct count below MinDiversity.
-	distinct := 0
-	counts := e.shrinkCounts
-	if e.opt.MinDiversity > 1 {
-		if counts == nil {
-			counts = make(map[int]int)
-			e.shrinkCounts = counts
-		}
-		clear(counts)
-		for _, ri := range c.Members {
-			v := e.opt.Sensitive[ri]
-			if counts[v] == 0 {
-				distinct++
-			}
-			counts[v]++
-		}
-	}
+	e.beginShrink(c.Members)
 	for len(c.Members) > e.opt.K {
 		m := len(c.Members)
 		need := (m + 1) * r
@@ -418,14 +406,8 @@ func (e *aggloEngine) shrinkK(c *Cluster) []int {
 		bestIdx, bestD := -1, math.Inf(-1)
 		evals := int64(0)
 		for mi := 0; mi < m; mi++ {
-			if e.opt.MinDiversity > 1 {
-				d := distinct
-				if counts[e.opt.Sensitive[c.Members[mi]]] == 1 {
-					d--
-				}
-				if d < e.opt.MinDiversity {
-					continue
-				}
+			if len(e.cons) > 0 && !e.canEvict(c.Members[mi]) {
+				continue
 			}
 			sum := 0.0
 			switch {
@@ -453,17 +435,11 @@ func (e *aggloEngine) shrinkK(c *Cluster) []int {
 		e.distEvals.Add(evals)
 		e.shrinkEvals += evals
 		if bestIdx < 0 {
-			break // every eviction would break diversity
+			break // every eviction would break a constraint
 		}
 		evicted := c.Members[bestIdx]
 		removed = append(removed, evicted)
-		if e.opt.MinDiversity > 1 {
-			v := e.opt.Sensitive[evicted]
-			counts[v]--
-			if counts[v] == 0 {
-				distinct--
-			}
-		}
+		e.commitEvict(evicted)
 		// Commit the winning rest set: its closure replaces c's, its cost
 		// is the same ascending-attribute sum s.Cost computes.
 		switch {
@@ -503,6 +479,7 @@ func (e *aggloEngine) absorbK(ri int) {
 	}
 	sCost := sum / float64(r)
 	bestIdx, bestD := -1, math.Inf(1)
+	okIdx, okD := -1, math.Inf(1)
 	for fi, f := range e.final {
 		sum := 0.0
 		for j := 0; j < r; j++ {
@@ -513,8 +490,14 @@ func (e *aggloEngine) absorbK(ri int) {
 		if d < bestD {
 			bestIdx, bestD = fi, d
 		}
+		if e.guardAbsorb && d < okD && e.absorbAllowed(f, ri) {
+			okIdx, okD = fi, d
+		}
 	}
 	e.distEvals.Add(int64(len(e.final)))
+	if okIdx >= 0 {
+		bestIdx = okIdx
+	}
 	if bestIdx < 0 {
 		// No final cluster exists (excluded by the k ≤ n guard, but stay
 		// safe): promote the singleton.

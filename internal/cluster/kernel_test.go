@@ -91,7 +91,7 @@ func TestKernelEquivalenceDiverse(t *testing.T) {
 	for _, modified := range []bool{false, true} {
 		ref, err := Agglomerate(s, tbl, AggloOptions{
 			K: 6, Distance: D3{}, Modified: modified,
-			MinDiversity: 3, Sensitive: sensitive, Workers: 1, NoKernel: true,
+			Constraints: []Constraint{DistinctLDiversity(3)}, Sensitive: sensitive, Workers: 1, NoKernel: true,
 		})
 		if err != nil {
 			t.Fatalf("reference modified=%v: %v", modified, err)
@@ -100,7 +100,7 @@ func TestKernelEquivalenceDiverse(t *testing.T) {
 			label := fmt.Sprintf("diverse modified=%v workers=%d", modified, workers)
 			got, err := Agglomerate(s, tbl, AggloOptions{
 				K: 6, Distance: D3{}, Modified: modified,
-				MinDiversity: 3, Sensitive: sensitive, Workers: workers,
+				Constraints: []Constraint{DistinctLDiversity(3)}, Sensitive: sensitive, Workers: workers,
 			})
 			if err != nil {
 				t.Fatalf("%s: %v", label, err)

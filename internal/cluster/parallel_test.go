@@ -104,7 +104,7 @@ func TestParallelEquivalenceMinDiversity(t *testing.T) {
 				for _, modified := range []bool{false, true} {
 					opt := AggloOptions{
 						K: k, Distance: dist, Modified: modified,
-						MinDiversity: 2, Sensitive: sens, Workers: 1,
+						Constraints: []Constraint{DistinctLDiversity(2)}, Sensitive: sens, Workers: 1,
 					}
 					seq, err := Agglomerate(s, tbl, opt)
 					if err != nil {

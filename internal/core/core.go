@@ -81,6 +81,12 @@ type KAnonOptions struct {
 	// reference evaluation path (see cluster.AggloOptions.NoKernel). The
 	// output is identical either way.
 	NoKernel bool
+	// Constraints, when non-empty, requires every equivalence class of the
+	// output to satisfy each privacy constraint over Sensitive (see
+	// cluster.Constraint: distinct/entropy/recursive ℓ-diversity,
+	// t-closeness). Sensitive must then hold one value id per record.
+	Constraints []cluster.Constraint
+	Sensitive   []int
 }
 
 // KAnonymize runs the (basic or modified) agglomerative algorithm and
@@ -115,11 +121,13 @@ func KAnonymizeStatsCtx(ctx context.Context, s *cluster.Space, tbl *table.Table,
 		dist = cluster.D3{}
 	}
 	clusters, stats, err := cluster.AgglomerateStatsCtx(ctx, s, tbl, cluster.AggloOptions{
-		K:        opt.K,
-		Distance: dist,
-		Modified: opt.Modified,
-		Workers:  opt.Workers,
-		NoKernel: opt.NoKernel,
+		K:           opt.K,
+		Distance:    dist,
+		Modified:    opt.Modified,
+		Workers:     opt.Workers,
+		NoKernel:    opt.NoKernel,
+		Constraints: opt.Constraints,
+		Sensitive:   opt.Sensitive,
 	})
 	if err != nil {
 		return nil, nil, stats, err

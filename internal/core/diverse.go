@@ -3,26 +3,36 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 
 	"kanon/internal/cluster"
-	"kanon/internal/fault"
-	"kanon/internal/obs"
 	"kanon/internal/table"
 )
+
+// This file keeps the legacy distinct ℓ-diversity entry points as thin
+// wrappers over the constraint-parameterized pipelines (constrained.go)
+// with Constraints = [cluster.DistinctLDiversity(l)]. The wrappers
+// preserve the legacy validation errors verbatim; their outputs are pinned
+// byte-for-byte against the pre-constraint implementations by the
+// constraint-equivalence harness.
 
 // KAnonymizeDiverse runs the agglomerative algorithm with the distinct
 // ℓ-diversity constraint of Machanavajjhala et al. layered on top of
 // k-anonymity — the extension Section II of the paper points at. Every
 // equivalence class of the output has size ≥ k and contains at least l
 // distinct values of sensitive.
+//
+// Deprecated: set KAnonOptions.Constraints to
+// [cluster.DistinctLDiversity(l)] with KAnonOptions.Sensitive and call
+// KAnonymize instead, which also admits the other constraint notions.
 func KAnonymizeDiverse(s *cluster.Space, tbl *table.Table, opt KAnonOptions, l int, sensitive []int) (*table.GenTable, []*cluster.Cluster, error) {
 	return KAnonymizeDiverseCtx(nil, s, tbl, opt, l, sensitive)
 }
 
 // KAnonymizeDiverseCtx is KAnonymizeDiverse under a context (see
 // KAnonymizeCtx). A nil ctx disables cancellation.
+//
+// Deprecated: see KAnonymizeDiverse.
 func KAnonymizeDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, opt KAnonOptions, l int, sensitive []int) (*table.GenTable, []*cluster.Cluster, error) {
 	if opt.K < 1 {
 		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
@@ -30,24 +40,9 @@ func KAnonymizeDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Tabl
 	if l < 1 {
 		return nil, nil, fmt.Errorf("core: l must be ≥ 1, got %d", l)
 	}
-	dist := opt.Distance
-	if dist == nil {
-		dist = cluster.D3{}
-	}
-	clusters, err := cluster.AgglomerateCtx(ctx, s, tbl, cluster.AggloOptions{
-		K:            opt.K,
-		Distance:     dist,
-		Modified:     opt.Modified,
-		MinDiversity: l,
-		Sensitive:    sensitive,
-		Workers:      opt.Workers,
-		NoKernel:     opt.NoKernel,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	g := cluster.ToGenTable(tbl.Schema, tbl.Len(), clusters)
-	return g, clusters, nil
+	opt.Constraints = []cluster.Constraint{cluster.DistinctLDiversity(l)}
+	opt.Sensitive = sensitive
+	return KAnonymizeCtx(ctx, s, tbl, opt)
 }
 
 // Make1KDiverse extends Algorithm 5 with a diversity requirement on
@@ -60,6 +55,10 @@ func KAnonymizeDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Tabl
 // As in Make1K, records of g are only ever widened, so a (k,1) input keeps
 // its (k,1) property and the coupling yields a diverse
 // (k,k)-anonymization. g is modified in place and returned.
+//
+// Deprecated: use Make1KConstrained with
+// [cluster.DistinctLDiversity(l)], which also admits the other constraint
+// notions.
 func Make1KDiverse(s *cluster.Space, tbl *table.Table, g *table.GenTable, k, l int, sensitive []int) (*table.GenTable, error) {
 	return Make1KDiverseCtx(nil, s, tbl, g, k, l, sensitive)
 }
@@ -68,6 +67,8 @@ func Make1KDiverse(s *cluster.Space, tbl *table.Table, g *table.GenTable, k, l i
 // widening loop stops at the next record boundary once ctx is done and
 // ctx.Err() is returned. As with Make1KCtx, a cancelled call leaves g
 // partially widened — discard g on error. A nil ctx disables cancellation.
+//
+// Deprecated: see Make1KDiverse.
 func Make1KDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g *table.GenTable, k, l int, sensitive []int) (*table.GenTable, error) {
 	n := tbl.Len()
 	if g == nil || g.Len() != n {
@@ -89,80 +90,15 @@ func Make1KDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, g
 	if len(distinctAll) < l {
 		return nil, fmt.Errorf("core: table has %d distinct sensitive values, %d-diversity unattainable", len(distinctAll), l)
 	}
-
-	o := obs.From(ctx)
-	defer o.Phase(PhaseMake1K)()
-	r := s.NumAttrs()
-	for i := 0; i < n; i++ {
-		if ctxDone(ctx) {
-			return nil, ctx.Err()
-		}
-		fault.Inject(SiteMake1KRecord)
-		ri := tbl.Records[i]
-		widened := int64(0)
-		for {
-			consistent := 0
-			values := make(map[int]bool)
-			for j := 0; j < n; j++ {
-				if s.Consistent(ri, g.Records[j]) {
-					consistent++
-					values[sensitive[j]] = true
-				}
-			}
-			needCount := consistent < k
-			needDiversity := len(values) < l
-			if !needCount && !needDiversity {
-				break
-			}
-			// Pick the cheapest widening among admissible candidates: when
-			// diversity is missing, restrict to records contributing a new
-			// sensitive value.
-			bestJ, bestDelta := -1, math.Inf(1)
-			for j := 0; j < n; j++ {
-				gj := g.Records[j]
-				if s.Consistent(ri, gj) {
-					continue
-				}
-				if needDiversity && values[sensitive[j]] && !needCount {
-					continue
-				}
-				sum := 0.0
-				for a := 0; a < r; a++ {
-					h := s.Hiers[a]
-					widened := h.LCA(gj[a], h.LeafOf(ri[a]))
-					sum += s.CostAt(a, widened) - s.CostAt(a, gj[a])
-				}
-				delta := sum / float64(r)
-				// Prefer diversity-contributing candidates when diversity
-				// is missing, even while counts are also short.
-				if needDiversity && !values[sensitive[j]] {
-					delta -= 1e9
-				}
-				if delta < bestDelta {
-					bestJ, bestDelta = j, delta
-				}
-			}
-			if bestJ < 0 {
-				return nil, fmt.Errorf("core: record %d cannot reach (k=%d, l=%d): no admissible widening", i, k, l)
-			}
-			gj := g.Records[bestJ]
-			for a := 0; a < r; a++ {
-				h := s.Hiers[a]
-				gj[a] = h.LCA(gj[a], h.LeafOf(ri[a]))
-			}
-			widened++
-		}
-		if widened > 0 {
-			o.Event(obs.KindAugment, PhaseMake1K, widened)
-			o.Counter("core.make1k.deficient", 1)
-		}
-	}
-	return g, nil
+	return Make1KConstrainedCtx(ctx, s, tbl, g, k, []cluster.Constraint{cluster.DistinctLDiversity(l)}, sensitive)
 }
 
 // KKAnonymizeDiverse couples a (k,1)-anonymizer with Make1KDiverse: the
 // result is a (k,k)-anonymization whose per-record candidate sets are
 // distinct l-diverse.
+//
+// Deprecated: use KKAnonymizeConstrained with
+// [cluster.DistinctLDiversity(l)].
 func KKAnonymizeDiverse(s *cluster.Space, tbl *table.Table, k, l int, alg K1Algorithm, sensitive []int) (*table.GenTable, error) {
 	return KKAnonymizeDiverseWorkers(s, tbl, k, l, alg, sensitive, 0)
 }
@@ -170,6 +106,8 @@ func KKAnonymizeDiverse(s *cluster.Space, tbl *table.Table, k, l int, alg K1Algo
 // KKAnonymizeDiverseWorkers is KKAnonymizeDiverse with the (k,1) stage
 // running on a pool of Workers(workers) workers; the output is identical at
 // any worker count.
+//
+// Deprecated: see KKAnonymizeDiverse.
 func KKAnonymizeDiverseWorkers(s *cluster.Space, tbl *table.Table, k, l int, alg K1Algorithm, sensitive []int, workers int) (*table.GenTable, error) {
 	return KKAnonymizeDiverseCtx(nil, s, tbl, k, l, alg, sensitive, workers)
 }
@@ -177,6 +115,8 @@ func KKAnonymizeDiverseWorkers(s *cluster.Space, tbl *table.Table, k, l int, alg
 // KKAnonymizeDiverseCtx is KKAnonymizeDiverseWorkers under a context: both
 // stages check for cancellation at record boundaries and return ctx.Err()
 // with no partial output. A nil ctx disables cancellation.
+//
+// Deprecated: see KKAnonymizeDiverse.
 func KKAnonymizeDiverseCtx(ctx context.Context, s *cluster.Space, tbl *table.Table, k, l int, alg K1Algorithm, sensitive []int, workers int) (*table.GenTable, error) {
 	g, err := runK1Ctx(ctx, s, tbl, k, alg, workers)
 	if err != nil {

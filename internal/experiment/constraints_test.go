@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunConstraintsExperiment(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Ks = []int{3}
+	results, err := cfg.RunConstraints("ART")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 menu entries × 3 engines × 1 k.
+	if len(results) != 15 {
+		t.Fatalf("got %d results, want 15", len(results))
+	}
+	type cell struct{ constraint, engine string }
+	byCell := make(map[cell]ConstraintResult)
+	for _, r := range results {
+		byCell[cell{r.Constraint, r.Engine}] = r
+		if r.EntropyLoss <= 0 || r.LMLoss <= 0 || r.DM <= 0 {
+			t.Errorf("%s/%s: non-positive metrics %+v", r.Constraint, r.Engine, r)
+		}
+		if r.Millis < 0 {
+			t.Errorf("%s/%s: negative runtime", r.Constraint, r.Engine)
+		}
+	}
+	for _, eng := range []string{"alg1", "alg2"} {
+		for _, con := range []string{"distinct=2", "entropy=1.5", "recursive=4/2", "tclose=0.4"} {
+			r := byCell[cell{con, eng}]
+			if !r.Satisfied {
+				t.Errorf("%s/%s: engine-enforced constraint not satisfied at class level", con, eng)
+			}
+			// Constraining can only cost utility.
+			plain := byCell[cell{"none", eng}]
+			if r.EntropyLoss < plain.EntropyLoss-1e-9 {
+				t.Errorf("%s/%s: constrained loss %.4f below plain %.4f", con, eng, r.EntropyLoss, plain.EntropyLoss)
+			}
+			// A diversity constraint must not leave more records exposed to
+			// the homogeneity attack than the unconstrained release.
+			if r.Exposed > plain.Exposed {
+				t.Errorf("%s/%s: exposed %d > plain %d", con, eng, r.Exposed, plain.Exposed)
+			}
+		}
+	}
+	// The distinct constraint removes homogeneity exposure outright on the
+	// class-enforcing engines: every class carries ≥ 2 sensitive values, so
+	// no record's candidate set can be homogeneous.
+	for _, eng := range []string{"alg1", "alg2"} {
+		if r := byCell[cell{"distinct=2", eng}]; r.Exposed != 0 {
+			t.Errorf("%s: distinct=2 left %d records exposed", eng, r.Exposed)
+		}
+	}
+	out := FormatConstraints(results)
+	if !strings.Contains(out, "PLUGGABLE PRIVACY CONSTRAINTS") || !strings.Contains(out, "distinct=2") {
+		t.Errorf("constraints format: %q", out)
+	}
+}

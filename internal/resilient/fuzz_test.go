@@ -91,4 +91,3 @@ func FuzzSupervisorDeterminism(f *testing.F) {
 		}
 	})
 }
-

@@ -265,7 +265,17 @@ type Options struct {
 	// NotionKK every record's candidate set, carries at least Diversity
 	// distinct sensitive values. The table must have a sensitive attribute
 	// (the built-in benchmark datasets do; SetSensitive attaches one).
+	// Diversity is sugar for a single DistinctDiversity constraint; use
+	// Constraints for the other notions. Setting both is rejected.
 	Diversity int
+	// Constraints enforces privacy constraints on the sensitive attribute —
+	// DistinctDiversity, EntropyDiversity, RecursiveDiversity, Closeness —
+	// on top of the anonymity notion: for NotionK every equivalence class,
+	// and for NotionKK every record's candidate set, must satisfy each of
+	// them. The table must have a sensitive attribute. Supported for
+	// NotionK (agglomerative) and NotionKK; audit the release with
+	// Result.ConstraintReport.
+	Constraints []Constraint
 	// MaxChunk, when > 0, switches NotionK to the scalable partitioned
 	// agglomerative algorithm: records are pre-partitioned along the
 	// hierarchies into chunks of at most MaxChunk before clustering,
@@ -354,20 +364,13 @@ type ShardCheckpoint struct {
 
 // Result is an anonymized table plus the context needed to inspect it.
 type Result struct {
-	table   *Table
-	gen     *table.GenTable
-	space   *cluster.Space
-	measure loss.Measure
+	table      *Table
+	gen        *table.GenTable
+	space      *cluster.Space
+	measure    loss.Measure
 	opt        Options
 	stats      RunStats
 	resilience *ResilienceReport
-	// UpgradeStats is populated for NotionGlobal1K with the Algorithm 6
-	// work summary.
-	//
-	// Deprecated: use Stats(), the unified statistics surface — its
-	// "core.global.*" counters carry the same information for every notion.
-	// The field remains populated for one release.
-	UpgradeStats core.Global1KStats
 }
 
 // Stats returns the run's unified observability statistics: per-phase wall
@@ -474,8 +477,16 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 	if opt.Measure == "" {
 		opt.Measure = MeasureEntropy
 	}
-	if opt.Diversity >= 2 && t.sensitive == nil {
-		return nil, optErr("Diversity", opt.Diversity, "requires a table with a sensitive attribute")
+	cons := effectiveConstraints(opt)
+	if len(cons) > 0 && t.sensitive == nil {
+		if opt.Diversity >= 2 {
+			return nil, optErr("Diversity", opt.Diversity, "requires a table with a sensitive attribute")
+		}
+		return nil, optErr("Constraints", constraintString(opt.Constraints), "requires a table with a sensitive attribute")
+	}
+	clusterCons, err := buildConstraints(t, cons)
+	if err != nil {
+		return nil, err
 	}
 	m, err := buildMeasure(t, opt.Measure)
 	if err != nil {
@@ -515,8 +526,10 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 		kopt := core.KAnonOptions{K: opt.K, Distance: dist, Modified: opt.Modified, Workers: opt.Workers, NoKernel: opt.NoKernel}
 		var g *table.GenTable
 		switch {
-		case opt.Diversity >= 2:
-			g, _, err = core.KAnonymizeDiverseCtx(ctx, s, t.tbl, kopt, opt.Diversity, t.sensitive)
+		case len(clusterCons) > 0:
+			kopt.Constraints = clusterCons
+			kopt.Sensitive = t.sensitive
+			g, _, err = core.KAnonymizeCtx(ctx, s, t.tbl, kopt)
 		case opt.MaxChunk > 0:
 			popt := core.PartitionedOptions{
 				K: opt.K, Distance: dist, Modified: opt.Modified, MaxChunk: opt.MaxChunk,
@@ -564,8 +577,8 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 			alg = core.K1ByNearest
 		}
 		var g *table.GenTable
-		if opt.Diversity >= 2 {
-			g, err = core.KKAnonymizeDiverseCtx(ctx, s, t.tbl, opt.K, opt.Diversity, alg, t.sensitive, opt.Workers)
+		if len(clusterCons) > 0 {
+			g, err = core.KKAnonymizeConstrainedCtx(ctx, s, t.tbl, opt.K, alg, clusterCons, t.sensitive, opt.Workers)
 		} else {
 			g, err = core.KKAnonymizeCtx(ctx, s, t.tbl, opt.K, alg, opt.Workers)
 		}
@@ -582,12 +595,11 @@ func AnonymizeContext(ctx context.Context, t *Table, opt Options) (*Result, erro
 		if err != nil {
 			return nil, err
 		}
-		g, stats, err := core.MakeGlobal1KCtx(ctx, s, t.tbl, g, opt.K)
+		g, _, err = core.MakeGlobal1KCtx(ctx, s, t.tbl, g, opt.K)
 		if err != nil {
 			return nil, err
 		}
 		res.gen = g
-		res.UpgradeStats = stats
 	}
 	res.stats = met.Snapshot()
 	res.stats.Notion = string(opt.Notion)

@@ -395,7 +395,7 @@ func TestMeasureSuppression(t *testing.T) {
 	}
 }
 
-func TestGlobalUpgradeStatsExposed(t *testing.T) {
+func TestGlobalMatchingCountersExposed(t *testing.T) {
 	tbl := ART(80, 5)
 	res, err := Anonymize(tbl, Options{K: 4, Notion: NotionGlobal1K})
 	if err != nil {

@@ -175,22 +175,24 @@ func TestStatsPopulated(t *testing.T) {
 	}
 }
 
-// TestStatsMatchesDeprecatedUpgradeStats pins the deprecation contract:
-// the core.global.* counters of Stats() agree with the legacy
-// Result.UpgradeStats field.
-func TestStatsMatchesDeprecatedUpgradeStats(t *testing.T) {
+// TestGlobalCountersSurvivedDeprecation pins the completed deprecation:
+// Result.UpgradeStats is gone (kanonlint's deprecated-API analyzer forbids
+// reintroducing it), and the core.global.* counters of Stats() — its
+// documented replacement — still carry the Algorithm 6 work summary for a
+// global run.
+func TestGlobalCountersSurvivedDeprecation(t *testing.T) {
 	tbl := Adult(120, 3)
 	res, err := Anonymize(tbl, Options{K: 6, Notion: NotionGlobal1K})
 	if err != nil {
 		t.Fatal(err)
 	}
 	st := res.Stats()
-	legacy := res.UpgradeStats
-	if got := st.Counter("core.global.deficient"); got != int64(legacy.DeficientRecords) {
-		t.Errorf("core.global.deficient = %d, UpgradeStats.DeficientRecords = %d", got, legacy.DeficientRecords)
+	if st.Phase("core.global").Starts == 0 {
+		t.Error("core.global phase missing from a global run")
 	}
-	if got := st.Counter("core.global.steps"); got != int64(legacy.GeneralizationSteps) {
-		t.Errorf("core.global.steps = %d, UpgradeStats.GeneralizationSteps = %d", got, legacy.GeneralizationSteps)
+	if st.Counter("core.global.steps") < 0 || st.Counter("core.global.deficient") < 0 {
+		t.Errorf("core.global counters negative: steps=%d deficient=%d",
+			st.Counter("core.global.steps"), st.Counter("core.global.deficient"))
 	}
 }
 

@@ -2,6 +2,7 @@ package kanon
 
 import (
 	"fmt"
+	"strings"
 
 	"kanon/internal/cluster"
 )
@@ -26,6 +27,20 @@ func (e *OptionsError) Error() string {
 // optErr builds an *OptionsError.
 func optErr(field string, value interface{}, reason string) *OptionsError {
 	return &OptionsError{Field: field, Value: value, Reason: reason}
+}
+
+// constraintString renders a constraint list as the OptionsError value,
+// matching the -constraint CLI syntax.
+func constraintString(cons []Constraint) string {
+	parts := make([]string, len(cons))
+	for i, c := range cons {
+		if c == nil {
+			parts[i] = "<nil>"
+			continue
+		}
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ",")
 }
 
 // Validate checks the options without running anything, returning a typed
@@ -64,6 +79,37 @@ func (opt Options) Validate() error {
 		}
 		if opt.MaxChunk > 0 {
 			return optErr("Diversity", opt.Diversity, "cannot be combined with MaxChunk")
+		}
+		if opt.Notion == NotionGlobal1K {
+			return optErr("Diversity", opt.Diversity,
+				"not supported with NotionGlobal1K (the global pipeline ignores constraints; it would silently weaken the guarantee)")
+		}
+		if len(opt.Constraints) > 0 {
+			return optErr("Constraints", constraintString(opt.Constraints),
+				"conflicts with Diversity (its DistinctDiversity sugar); set one or the other")
+		}
+	}
+	if len(opt.Constraints) > 0 {
+		for i, c := range opt.Constraints {
+			if c == nil {
+				return optErr("Constraints", i, "nil constraint")
+			}
+			if err := c.validate(); err != nil {
+				return optErr("Constraints", c.String(), err.Error())
+			}
+		}
+		if opt.Forest {
+			return optErr("Constraints", constraintString(opt.Constraints), "not supported with the forest baseline")
+		}
+		if opt.FullDomain {
+			return optErr("Constraints", constraintString(opt.Constraints), "not supported with the full-domain baseline")
+		}
+		if opt.MaxChunk > 0 {
+			return optErr("Constraints", constraintString(opt.Constraints), "cannot be combined with MaxChunk")
+		}
+		if opt.Notion == NotionGlobal1K {
+			return optErr("Constraints", constraintString(opt.Constraints),
+				"not supported with NotionGlobal1K (the global pipeline ignores constraints; it would silently weaken the guarantee)")
 		}
 	}
 	if opt.ShardDeadline < 0 {
