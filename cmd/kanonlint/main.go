@@ -1,11 +1,14 @@
 // Command kanonlint runs the project's static-analysis suite
-// (internal/analysis/...): determinism, nogoroutine, ctxflow, obsphase
-// and faultsite, with //kanon:allow suppression.
+// (internal/analysis/...): constraintpure, ctxflow, deprecated,
+// determinism, faultsite, leakcheck, nogoroutine and obsphase, with
+// //kanon:allow suppression.
 //
 // Standalone:
 //
-//	go run ./cmd/kanonlint ./...        # exit 1 on unsuppressed findings
-//	go run ./cmd/kanonlint -allows ./... # inventory of allow directives
+//	go run ./cmd/kanonlint ./...             # exit 1 on unsuppressed findings
+//	go run ./cmd/kanonlint -allows ./...     # inventory of allow directives
+//	go run ./cmd/kanonlint -json ./...       # stable machine-readable findings
+//	go run ./cmd/kanonlint -run leakcheck ./... # run a subset of the suite
 //
 // As a go vet tool (per-package analyzers only — faultsite needs the
 // whole program and runs in standalone mode):
@@ -80,11 +83,18 @@ func standalone(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("kanonlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	allows := fs.Bool("allows", false, "list //kanon:allow directives instead of running analyzers")
+	asJSON := fs.Bool("json", false, "emit findings as a stable JSON document (findings sorted by file, line, analyzer, message)")
+	runOnly := fs.String("run", "", "comma-separated analyzer names to run (default: the full suite)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: kanonlint [-allows] [packages]")
+		fmt.Fprintln(stderr, "usage: kanonlint [-allows] [-json] [-run names] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*runOnly)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	patterns := fs.Args()
@@ -116,20 +126,107 @@ func standalone(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	diags, err := analysis.Run(prog, suite.Analyzers())
+	// Directives may name any suite analyzer, selected or not, without
+	// tripping the unknown-name check.
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	var extraKnown []string
+	for _, a := range suite.Analyzers() {
+		if !selected[a.Name] {
+			extraKnown = append(extraKnown, a.Name)
+		}
+	}
+	diags, err := analysis.Run(prog, analyzers, extraKnown...)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	open := analysis.Unsuppressed(diags)
-	for _, d := range open {
-		fmt.Fprintln(stdout, relDiag(cwd, d))
+	if *asJSON {
+		if err := writeJSON(stdout, cwd, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range open {
+			fmt.Fprintln(stdout, relDiag(cwd, d))
+		}
 	}
 	if len(open) > 0 {
 		fmt.Fprintf(stderr, "kanonlint: %d unsuppressed finding(s)\n", len(open))
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers resolves a -run list against the suite (empty = all).
+func selectAnalyzers(runOnly string) ([]*analysis.Analyzer, error) {
+	all := suite.Analyzers()
+	if runOnly == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(runOnly, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("kanonlint: unknown analyzer %q in -run", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// jsonFinding is one diagnostic of the -json document. The document is
+// stable: findings arrive pre-sorted by file, line, analyzer and message,
+// suppressed ones included (marked, with their reasons), so CI can diff
+// two runs byte for byte.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Findings     []jsonFinding `json:"findings"`
+	Unsuppressed int           `json:"unsuppressed"`
+}
+
+// writeJSON renders the diagnostics as the stable JSON document.
+func writeJSON(w io.Writer, dir string, diags []analysis.Diagnostic) error {
+	report := jsonReport{Findings: []jsonFinding{}}
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		report.Findings = append(report.Findings, jsonFinding{
+			File:       name,
+			Line:       d.Pos.Line,
+			Column:     d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.Reason,
+		})
+		if !d.Suppressed {
+			report.Unsuppressed++
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }
 
 // relPos renders a position with the filename relative to dir when that

@@ -40,6 +40,69 @@ func TestFlagsEndpoint(t *testing.T) {
 	}
 }
 
+// TestJSONOutput pins the -json document: valid JSON, stable across
+// runs, suppressed findings carried with their reasons. The cluster
+// package has self-contained, suppressed determinism findings, so the
+// document is non-trivial even in a single-package load.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages")
+	}
+	runJSON := func() string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-json", "kanon/internal/cluster"}, &out, &errb); code != 0 {
+			t.Fatalf("run(-json) = %d, stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	first := runJSON()
+	if second := runJSON(); second != first {
+		t.Errorf("-json output is not stable across runs:\n%s\n---\n%s", first, second)
+	}
+	var report struct {
+		Findings []struct {
+			File, Analyzer, Message, Reason string
+			Line, Column                    int
+			Suppressed                      bool
+		}
+		Unsuppressed int
+	}
+	if err := json.Unmarshal([]byte(first), &report); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, first)
+	}
+	if report.Unsuppressed != 0 {
+		t.Errorf("expected a clean package, got %d unsuppressed findings", report.Unsuppressed)
+	}
+	if len(report.Findings) == 0 {
+		t.Fatal("expected suppressed determinism findings in kanon/internal/cluster, got none")
+	}
+	for _, f := range report.Findings {
+		if !f.Suppressed || f.Reason == "" {
+			t.Errorf("finding %+v should be suppressed with a reason", f)
+		}
+	}
+}
+
+// TestRunFlag pins analyzer selection: unknown names fail fast, and a
+// known subset runs clean over a clean package.
+func TestRunFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "nosuch", "kanon/internal/redact"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-run nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("expected an unknown-analyzer error, got: %s", errb.String())
+	}
+	if testing.Short() {
+		return
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-run", "leakcheck,determinism", "kanon/internal/redact"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-run leakcheck,determinism) = %d, stderr: %s", code, errb.String())
+	}
+}
+
 // writeUnitConfig materializes a vetConfig as a .cfg file in dir.
 func writeUnitConfig(t *testing.T, dir string, cfg vetConfig) string {
 	t.Helper()

@@ -28,26 +28,44 @@ import (
 // compares unsuppressed diagnostics against the `// want` comments.
 func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
 	t.Helper()
+	RunDirs(t, a, analysis.DirSpec{Dir: dir, ImportPath: importPath})
+}
+
+// RunDirs is Run over a multi-package golden program: the directories are
+// loaded in order (dependencies first, so later packages may import
+// earlier ones by their spec paths), the analyzer runs once over the
+// whole program, and `// want` comments are honored in every directory.
+// Whole-program analyzers get their cross-package golden cases this way.
+func RunDirs(t *testing.T, a *analysis.Analyzer, dirs ...analysis.DirSpec) {
+	t.Helper()
 	moduleDir, err := ModuleRoot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		t.Fatal(err)
+	abs := make([]analysis.DirSpec, len(dirs))
+	for i, d := range dirs {
+		dir, err := filepath.Abs(d.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abs[i] = analysis.DirSpec{Dir: dir, ImportPath: d.ImportPath}
 	}
-	prog, err := analysis.LoadDir(abs, moduleDir, importPath)
+	prog, err := analysis.LoadDirs(moduleDir, abs)
 	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+		t.Fatalf("loading: %v", err)
 	}
 	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
 
-	wants, err := collectWants(abs)
-	if err != nil {
-		t.Fatal(err)
+	var wants []want
+	for _, d := range abs {
+		w, err := collectWants(d.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, w...)
 	}
 	matched := make(map[*want]bool)
 	for _, d := range analysis.Unsuppressed(diags) {

@@ -1,0 +1,305 @@
+// Package constraintpure implements the kanonlint analyzer extending the
+// determinism gate into the pluggable privacy-constraint surface
+// (DESIGN.md §15, §16). Constraint decisions feed the engine's merge,
+// shrink and absorb paths, whose outputs the equivalence harness pins
+// bit-for-bit at any worker count — so every type implementing
+// cluster.Constraint or cluster.Bound must be pure in three senses:
+//
+//   - no retained cross-run state: Constraint implementations are bound
+//     once per engine run and must be immutable — methods must not write
+//     through the receiver, and neither role may read or write
+//     package-level mutable state;
+//   - no map-iteration-order dependence: histogram folds must run in
+//     value-id order, never over a Go map;
+//   - no wall-clock or shared-randomness reads in bound accumulators,
+//     directly or through helpers reachable in the same package.
+//
+// Unlike the determinism analyzer, which gates whole packages by path,
+// constraintpure follows the types: any package anywhere in the module
+// that declares a Constraint/Bound implementation is held to the
+// contract, and forbidden calls are found interprocedurally through the
+// package's static call graph (helpers shared with impure code are
+// flagged at the constraint method that reaches them).
+package constraintpure
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kanon/internal/analysis"
+)
+
+// ClusterPath is the package declaring the constraint interfaces.
+const ClusterPath = "kanon/internal/cluster"
+
+// Analyzer enforces purity of Constraint/Bound implementations.
+var Analyzer = &analysis.Analyzer{
+	Name: "constraintpure",
+	Doc: "require cluster.Constraint/cluster.Bound implementations to be " +
+		"pure: no receiver mutation in Constraint methods, no package-level " +
+		"mutable state, no map iteration, and no time or shared math/rand " +
+		"reachable from bound accumulators",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	clusterPkg := findCluster(pass.Pkg.Types)
+	if clusterPkg == nil {
+		return nil // package does not see the constraint surface at all
+	}
+	boundIface := lookupIface(clusterPkg, "Bound")
+	constraintIface := lookupIface(clusterPkg, "Constraint")
+	if boundIface == nil || constraintIface == nil {
+		return nil
+	}
+
+	// Roles of named types declared in this package.
+	type role struct{ constraint, bound bool }
+	roles := map[*types.TypeName]role{}
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+			continue // the interfaces themselves (and any embedding) are not implementations
+		}
+		r := role{
+			constraint: implements(tn.Type(), constraintIface),
+			bound:      implements(tn.Type(), boundIface),
+		}
+		if r.constraint || r.bound {
+			roles[tn] = r
+		}
+	}
+	if len(roles) == 0 {
+		return nil
+	}
+
+	// Index the package's functions for the reachability walk.
+	funcs := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					funcs[fn] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			tn := recvTypeName(pass.Pkg.TypesInfo, fd)
+			r, isImpl := roles[tn]
+			if !isImpl {
+				continue
+			}
+			c := &checker{pass: pass, funcs: funcs, tn: tn}
+			c.method(fd, r.constraint)
+		}
+	}
+	return nil
+}
+
+// checker walks one constraint method and its same-package reachability.
+type checker struct {
+	pass  *analysis.Pass
+	funcs map[*types.Func]*ast.FuncDecl
+	tn    *types.TypeName
+}
+
+// method applies the direct checks to a Constraint/Bound method body and
+// then the transitive forbidden-call search.
+func (c *checker) method(fd *ast.FuncDecl, isConstraint bool) {
+	info := c.pass.Pkg.TypesInfo
+	recvObj := recvObject(info, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(info, n); fn != nil {
+				if why := forbidden(fn); why != "" {
+					c.pass.Reportf(n.Pos(), "%s in %s method %s: constraint decisions must be pure functions of the histogram", why, c.tn.Name(), fd.Name.Name)
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					c.pass.Reportf(n.Pos(), "map iteration in %s method %s: constraint folds must run in value-id order (slice-indexed accumulators)", c.tn.Name(), fd.Name.Name)
+				}
+			}
+		case *ast.Ident:
+			if obj, isVar := info.Uses[n].(*types.Var); isVar && obj.Parent() == c.pass.Pkg.Types.Scope() {
+				c.pass.Reportf(n.Pos(), "package-level variable %s accessed in %s method %s: constraint state must live in the bound accumulator, not globals", n.Name, c.tn.Name(), fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if isConstraint && recvObj != nil {
+				for _, lhs := range n.Lhs {
+					c.receiverWrite(lhs, recvObj, fd)
+				}
+			}
+		case *ast.IncDecStmt:
+			if isConstraint && recvObj != nil {
+				c.receiverWrite(n.X, recvObj, fd)
+			}
+		}
+		return true
+	})
+	// Transitive: helpers reachable through same-package static calls.
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	visited := map[*types.Func]bool{fn: true}
+	c.reach(fd, fd, fn.Name(), visited)
+}
+
+// receiverWrite flags a store whose base identifier is the receiver of a
+// Constraint method: bound once per run means immutable.
+func (c *checker) receiverWrite(lhs ast.Expr, recvObj types.Object, fd *ast.FuncDecl) {
+	if base := selectorBase(lhs); base != nil && c.pass.Pkg.TypesInfo.Uses[base] == recvObj {
+		c.pass.Reportf(lhs.Pos(), "%s method %s writes through the receiver: Constraint implementations must be immutable (Bind returns the run's mutable state)", c.tn.Name(), fd.Name.Name)
+	}
+}
+
+// reach searches helpers called (transitively, same package) from the
+// method for forbidden calls, reporting at the method's own call site.
+func (c *checker) reach(method, cur *ast.FuncDecl, chain string, visited map[*types.Func]bool) {
+	info := c.pass.Pkg.TypesInfo
+	type edge struct {
+		callee *types.Func
+		pos    token.Pos
+	}
+	var edges []edge
+	ast.Inspect(cur.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := analysis.CalleeFunc(info, call); fn != nil && c.funcs[fn] != nil && !visited[fn] {
+			edges = append(edges, edge{fn, call.Pos()})
+		}
+		return true
+	})
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+	for _, e := range edges {
+		if visited[e.callee] {
+			continue
+		}
+		visited[e.callee] = true
+		callee := c.funcs[e.callee]
+		next := chain + " -> " + e.callee.Name()
+		ast.Inspect(callee.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := analysis.CalleeFunc(info, call); fn != nil {
+				if why := forbidden(fn); why != "" {
+					c.pass.Reportf(e.pos, "%s method %s reaches %s through %s: constraint decisions must be pure", c.tn.Name(), method.Name.Name, why, next)
+				}
+			}
+			return true
+		})
+		c.reach(method, callee, next, visited)
+	}
+}
+
+// forbidden names the impurity of a callee, or "" when it is allowed.
+func forbidden(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "wall-clock read (time." + fn.Name() + ")"
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+			return "shared math/rand source (rand." + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
+// findCluster resolves the cluster package's *types.Package: the package
+// itself when checking cluster, otherwise a direct import.
+func findCluster(pkg *types.Package) *types.Package {
+	if pkg.Path() == ClusterPath {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == ClusterPath {
+			return imp
+		}
+	}
+	return nil
+}
+
+// lookupIface fetches a named interface's underlying type.
+func lookupIface(pkg *types.Package, name string) *types.Interface {
+	tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := tn.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implements reports whether T or *T satisfies iface.
+func implements(t types.Type, iface *types.Interface) bool {
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// recvTypeName resolves a method declaration's receiver type name.
+func recvTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// recvObject resolves the receiver identifier's object, if named.
+func recvObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// selectorBase returns the base identifier of a (possibly nested)
+// selector/index assignment target, or nil.
+func selectorBase(e ast.Expr) *ast.Ident {
+	for {
+		switch x := analysis.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}

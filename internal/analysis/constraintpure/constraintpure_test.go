@@ -1,0 +1,17 @@
+package constraintpure_test
+
+import (
+	"testing"
+
+	"kanon/internal/analysis/analysistest"
+	"kanon/internal/analysis/constraintpure"
+)
+
+// TestGolden exercises the purity contract over a pure reference
+// implementation and an impure one covering every rule: retained
+// cross-run state (receiver writes in Constraint methods), package-level
+// mutable state, map iteration, wall-clock and shared-rand reads, and a
+// clock read hidden behind a same-package helper.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/cp", "kanon/internal/cpgolden", constraintpure.Analyzer)
+}

@@ -1,0 +1,119 @@
+// Golden cases for the constraintpure analyzer: impure habits inside
+// cluster.Constraint / cluster.Bound implementations are flagged; the
+// slice-indexed accumulator idiom is not.
+package cp
+
+import (
+	"math/rand"
+	"time"
+
+	"kanon/internal/cluster"
+)
+
+// tuning is package-level mutable state no constraint may consult.
+var tuning = 3
+
+// pure is the sanctioned shape: immutable constraint, slice-indexed
+// accumulator, decisions that are functions of the histogram.
+type pure struct{ l int }
+
+func (c pure) String() string { return "pure" }
+func (c pure) Trivial() bool  { return c.l <= 1 }
+func (c pure) Bind(sensitive []int) (cluster.Bound, error) {
+	return &pureBound{sensitive: sensitive, counts: make([]int, 8), l: c.l}, nil
+}
+
+type pureBound struct {
+	sensitive []int
+	counts    []int
+	size      int
+	distinct  int
+	l         int
+}
+
+func (b *pureBound) Reset() {
+	for i := range b.counts {
+		b.counts[i] = 0
+	}
+	b.size, b.distinct = 0, 0
+}
+func (b *pureBound) Add(ri int) {
+	v := b.sensitive[ri]
+	if b.counts[v] == 0 {
+		b.distinct++
+	}
+	b.counts[v]++
+	b.size++
+}
+func (b *pureBound) Satisfied() bool    { return b.distinct >= b.l }
+func (b *pureBound) Decided() bool      { return b.distinct >= b.l }
+func (b *pureBound) AdditionSafe() bool { return true }
+func (b *pureBound) SatisfiedWithAdd(ri int) bool {
+	if b.counts[b.sensitive[ri]] == 0 {
+		return b.distinct+1 >= b.l
+	}
+	return b.Satisfied()
+}
+func (b *pureBound) Improves(ri int) bool { return b.counts[b.sensitive[ri]] == 0 }
+func (b *pureBound) CanEvict(ri int) bool {
+	if b.counts[b.sensitive[ri]] == 1 {
+		return b.distinct-1 >= b.l
+	}
+	return b.Satisfied()
+}
+func (b *pureBound) Evict(ri int) {
+	v := b.sensitive[ri]
+	b.counts[v]--
+	if b.counts[v] == 0 {
+		b.distinct--
+	}
+	b.size--
+}
+func (b *pureBound) Metric() float64 { return float64(b.distinct) }
+
+// impure retains cross-run state and consults globals and maps.
+type impure struct {
+	bindCount int
+	seen      map[int]int
+}
+
+func (c *impure) String() string { return "impure" }
+func (c *impure) Trivial() bool {
+	return tuning <= 1 // want "package-level variable tuning"
+}
+func (c *impure) Bind(sensitive []int) (cluster.Bound, error) {
+	c.bindCount++ // want "writes through the receiver"
+	total := 0
+	for _, n := range c.seen { // want "map iteration in impure method Bind"
+		total += n
+	}
+	_ = total
+	return &impureBound{start: time.Now()}, nil // want "wall-clock read"
+}
+
+// impureBound reads the clock and shared randomness while accumulating.
+type impureBound struct {
+	start time.Time
+	size  int
+}
+
+func (b *impureBound) Reset()  { b.size = 0 }
+func (b *impureBound) Add(int) { b.size++ }
+func (b *impureBound) Satisfied() bool {
+	return time.Since(b.start) > 0 // want "wall-clock read"
+}
+func (b *impureBound) Decided() bool      { return false }
+func (b *impureBound) AdditionSafe() bool { return false }
+func (b *impureBound) SatisfiedWithAdd(int) bool {
+	return rand.Intn(2) == 0 // want "shared math/rand source"
+}
+func (b *impureBound) Improves(int) bool { return helperClock() } // want "reaches wall-clock read (time.Now) through Improves -> helperClock"
+func (b *impureBound) CanEvict(int) bool { return true }
+func (b *impureBound) Evict(int)         {}
+func (b *impureBound) Metric() float64   { return float64(b.size) }
+
+// helperClock hides the clock read one call away; the reachability walk
+// still finds it from Improves.
+func helperClock() bool {
+	return !time.Now().IsZero()
+}

@@ -1,0 +1,100 @@
+// Golden cases for the leakcheck analyzer: record values reaching
+// diagnostic sinks are flagged; digests, counts, schema names and
+// reason-carrying suppressions are not.
+package lc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+
+	"kanon/internal/obs"
+	"kanon/internal/redact"
+	"kanon/internal/table"
+)
+
+// direct: a domain value read straight into an error message.
+func direct(a *table.Attribute, id int) error {
+	v := a.Values[id]
+	return fmt.Errorf("bad value %q", v) // want "record value flows into fmt.Errorf"
+}
+
+// sanitized: the same flow through the redaction vocabulary is clean.
+func sanitized(a *table.Attribute, id int) error {
+	v := a.Values[id]
+	return fmt.Errorf("bad value (%s) at position %d", redact.Value(v), id)
+}
+
+// positional: schema names and counts are the sanctioned vocabulary.
+func positional(a *table.Attribute) error {
+	return fmt.Errorf("attribute %q has %d values", a.Name, len(a.Values))
+}
+
+// viaHelper: the leak happens inside describe, whose summary carries the
+// parameter-to-sink flow back to this call site.
+func viaHelper(a *table.Attribute, id int) error {
+	return describe(a.Values[id]) // want "record value flows into fmt.Errorf"
+}
+
+func describe(v string) error {
+	return fmt.Errorf("unexpected %q", v)
+}
+
+// explode: panic values surface in crash output and recover handlers.
+func explode(a *table.Attribute, id int) {
+	panic("impossible value " + a.Values[id]) // want "record value flows into panic"
+}
+
+// contained: a recovered payload may interpolate record values, so it
+// must not reach the log unredacted.
+func contained(f func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			log.Printf("recovered: %v", v) // want "record value flows into log.Printf"
+		}
+	}()
+	f()
+}
+
+// containedRedacted: the sanctioned way to log a recovered payload.
+func containedRedacted(f func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			log.Printf("recovered: %s", redact.Panic(v))
+		}
+	}()
+	f()
+}
+
+// emit: obs counter names become event payloads.
+func emit(r *obs.Run, a *table.Attribute, id int) {
+	r.Counter("domain:"+a.Values[id], 1) // want "record value flows into obs.(*Run).Counter"
+}
+
+// event: obs.Event string payload fields are field sinks.
+func event(a *table.Attribute, id int) obs.Event {
+	return obs.Event{Kind: obs.KindCounter, Name: a.Values[id]} // want "record value flows into obs.Event.Name"
+}
+
+// snapshot gains a tainted field through checkpointing below; encoding a
+// value of this type is then a leak wherever it happens.
+type snapshot struct {
+	Cells []string
+}
+
+func checkpoint(w io.Writer, a *table.Attribute) error {
+	s := snapshot{Cells: a.Values}
+	return json.NewEncoder(w).Encode(s) // want "carries tainted fields into json"
+}
+
+// display: a deliberate, reasoned suppression stays quiet.
+func display(a *table.Attribute, id int) {
+	//kanon:allow leakcheck -- golden case: deliberate display of the release, the analyzer must honor reasoned suppressions
+	fmt.Println(a.Values[id])
+}
+
+// okErr: plain error values are not record values.
+func okErr(err error) {
+	fmt.Println("failed:", err)
+}

@@ -1,0 +1,24 @@
+// Package xa is the producer half of the cross-package golden case: it
+// reads raw CSV records (a taint source) and offers a formatting helper
+// whose summary carries a parameter-to-sink flow. Neither function leaks
+// by itself — the flow only closes in the importing package xb.
+package xa
+
+import (
+	"encoding/csv"
+	"fmt"
+)
+
+// Fetch returns one raw record; the result is source-tainted.
+func Fetch(r *csv.Reader) []string {
+	rec, err := r.Read()
+	if err != nil {
+		return nil
+	}
+	return rec
+}
+
+// Describe formats whatever it is given into an error.
+func Describe(vs []string) error {
+	return fmt.Errorf("unexpected row %v", vs)
+}

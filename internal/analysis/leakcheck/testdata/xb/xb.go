@@ -1,0 +1,19 @@
+// Package xb closes the cross-package flow: a source from xa.Fetch meets
+// the sink inside xa.Describe, and the finding lands here, at the call
+// that connects them.
+package xb
+
+import (
+	"encoding/csv"
+
+	"kanon/internal/xa"
+)
+
+// Load wires xa's source into xa's sink.
+func Load(r *csv.Reader) error {
+	row := xa.Fetch(r)
+	if len(row) != 3 {
+		return xa.Describe(row) // want "record value flows into fmt.Errorf"
+	}
+	return nil
+}

@@ -195,61 +195,92 @@ func (e *exportImporter) Import(path string) (*types.Package, error) {
 // packages, yet golden cases still want real types and a real package
 // path so path-gated analyzers behave exactly as in production.
 func LoadDir(dir, moduleDir, importPath string) (*Program, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
+	return LoadDirs(moduleDir, []DirSpec{{Dir: dir, ImportPath: importPath}})
+}
+
+// DirSpec names one directory of a multi-package golden program.
+type DirSpec struct {
+	Dir        string
+	ImportPath string
+}
+
+// LoadDirs loads several directories as one program, in order, each
+// type-checked under its DirSpec import path. Earlier packages are made
+// importable by later ones (the whole point: whole-program analyzers need
+// golden cases where taint crosses a package boundary), so callers list
+// dependencies first. External imports resolve through export data from
+// moduleDir, exactly like LoadDir.
+func LoadDirs(moduleDir string, dirs []DirSpec) (*Program, error) {
 	fset := token.NewFileSet()
-	var files, testFiles []*ast.File
+	local := map[string]bool{}
+	for _, d := range dirs {
+		local[d.ImportPath] = true
+	}
+	type parsed struct {
+		spec             DirSpec
+		files, testFiles []*ast.File
+	}
+	var pkgs []parsed
 	var imports []string
 	seen := map[string]bool{}
-	for _, ent := range entries {
-		name := ent.Name()
-		if ent.IsDir() || !strings.HasSuffix(name, ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+	for _, d := range dirs {
+		entries, err := os.ReadDir(d.Dir)
 		if err != nil {
 			return nil, err
 		}
-		if strings.HasSuffix(name, "_test.go") {
-			testFiles = append(testFiles, f)
-			continue
-		}
-		files = append(files, f)
-		for _, spec := range f.Imports {
-			path := strings.Trim(spec.Path.Value, `"`)
-			if !seen[path] {
-				seen[path] = true
-				imports = append(imports, path)
+		p := parsed{spec: d}
+		for _, ent := range entries {
+			name := ent.Name()
+			if ent.IsDir() || !strings.HasSuffix(name, ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(d.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			if strings.HasSuffix(name, "_test.go") {
+				p.testFiles = append(p.testFiles, f)
+				continue
+			}
+			p.files = append(p.files, f)
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if !seen[path] && !local[path] {
+					seen[path] = true
+					imports = append(imports, path)
+				}
 			}
 		}
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("no non-test .go files in %s", dir)
+		if len(p.files) == 0 {
+			return nil, fmt.Errorf("no non-test .go files in %s", d.Dir)
+		}
+		pkgs = append(pkgs, p)
 	}
 	exports, err := exportData(moduleDir, imports)
 	if err != nil {
 		return nil, err
 	}
-	imp := newExportImporter(fset, exports)
-	info := newTypesInfo()
-	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(importPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %v", dir, err)
-	}
-	return &Program{
-		Fset: fset,
-		Packages: []*Package{{
-			PkgPath:   importPath,
-			Dir:       dir,
-			Files:     files,
-			TestFiles: testFiles,
+	imp := newExportImporter(fset, exports).(*exportImporter)
+	prog := &Program{Fset: fset}
+	for _, p := range pkgs {
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.spec.ImportPath, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.spec.Dir, err)
+		}
+		// Make this package importable by the ones that follow.
+		imp.cache[p.spec.ImportPath] = tpkg
+		prog.Packages = append(prog.Packages, &Package{
+			PkgPath:   p.spec.ImportPath,
+			Dir:       p.spec.Dir,
+			Files:     p.files,
+			TestFiles: p.testFiles,
 			Types:     tpkg,
 			TypesInfo: info,
-		}},
-	}, nil
+		})
+	}
+	return prog, nil
 }
 
 // TypeCheckFiles type-checks already-parsed files as one package,

@@ -5,10 +5,12 @@ package suite
 
 import (
 	"kanon/internal/analysis"
+	"kanon/internal/analysis/constraintpure"
 	"kanon/internal/analysis/ctxflow"
 	"kanon/internal/analysis/deprecated"
 	"kanon/internal/analysis/determinism"
 	"kanon/internal/analysis/faultsite"
+	"kanon/internal/analysis/leakcheck"
 	"kanon/internal/analysis/nogoroutine"
 	"kanon/internal/analysis/obsphase"
 )
@@ -16,10 +18,12 @@ import (
 // Analyzers returns the full kanonlint suite, in reporting order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		constraintpure.Analyzer,
 		ctxflow.Analyzer,
 		deprecated.Analyzer,
 		determinism.Analyzer,
 		faultsite.Analyzer,
+		leakcheck.Analyzer,
 		nogoroutine.Analyzer,
 		obsphase.Analyzer,
 	}

@@ -1,0 +1,84 @@
+package taint_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"kanon/internal/analysis"
+	"kanon/internal/analysis/analysistest"
+	"kanon/internal/analysis/leakcheck"
+	"kanon/internal/analysis/taint"
+)
+
+// loadGolden loads the leakcheck golden program (three packages, so load
+// order can actually vary) once per process.
+var loadGolden = sync.OnceValues(func() (*analysis.Program, error) {
+	moduleDir, err := analysistest.ModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	base := filepath.Join(moduleDir, "internal", "analysis", "leakcheck", "testdata")
+	return analysis.LoadDirs(moduleDir, []analysis.DirSpec{
+		{Dir: filepath.Join(base, "lc"), ImportPath: "kanon/internal/lcgolden"},
+		{Dir: filepath.Join(base, "xa"), ImportPath: "kanon/internal/xa"},
+		{Dir: filepath.Join(base, "xb"), ImportPath: "kanon/internal/xb"},
+	})
+})
+
+// render solves the engine over the given package order and renders
+// summaries plus the full finding list as one byte string.
+func render(prog *analysis.Program, order []int) string {
+	shuffled := &analysis.Program{Fset: prog.Fset}
+	for _, i := range order {
+		shuffled.Packages = append(shuffled.Packages, prog.Packages[i])
+	}
+	eng := taint.NewEngine(taint.NewIndex(shuffled), leakcheck.Config())
+	eng.Solve()
+	var b strings.Builder
+	b.WriteString(eng.RenderSummaries())
+	for _, f := range eng.Report() {
+		b.WriteString(f.Position.String() + " " + f.Message + "\n")
+	}
+	return b.String()
+}
+
+// FuzzTaintSummaryDeterminism asserts the engine's two determinism
+// contracts at once: repeated runs over the same program and runs over
+// any permutation of the package load order render byte-identical
+// summaries, field-taint relations and finding lists. The taint lattice
+// is finite and every transfer function monotone, so the least fixpoint
+// is unique — this target pins that the implementation (map-backed state
+// included) actually delivers it.
+func FuzzTaintSummaryDeterminism(f *testing.F) {
+	prog, err := loadGolden()
+	if err != nil {
+		f.Fatal(err)
+	}
+	identity := make([]int, len(prog.Packages))
+	for i := range identity {
+		identity[i] = i
+	}
+	baseline := render(prog, identity)
+	if baseline == "" {
+		f.Fatal("baseline rendering is empty: the golden program should produce summaries")
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		order := append([]int(nil), identity...)
+		rand.New(rand.NewSource(seed)).Shuffle(len(order), func(i, j int) {
+			order[i], order[j] = order[j], order[i]
+		})
+		if got := render(prog, order); got != baseline {
+			t.Errorf("summaries differ for package order %v (seed %d):\n--- baseline ---\n%s\n--- permuted ---\n%s", order, seed, baseline, got)
+		}
+		// Same order, repeated run: no hidden state between engines.
+		if got := render(prog, order); got != render(prog, order) {
+			t.Errorf("repeated runs differ for package order %v", order)
+		}
+	})
+}

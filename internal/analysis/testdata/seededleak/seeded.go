@@ -1,0 +1,18 @@
+// Package seededleak is a deliberately leaking package for the negative
+// self-application test: if leakcheck ever stops reporting this flow, the
+// zero-findings gate over the repository has gone blind, not clean. The
+// directory lives under testdata so `go list ./...` (and therefore the
+// production gate itself) never sees it.
+package seededleak
+
+import (
+	"fmt"
+
+	"kanon/internal/table"
+)
+
+// Leak formats a raw domain value into an error — exactly the flow the
+// analyzer exists to forbid.
+func Leak(a *table.Attribute, id int) error {
+	return fmt.Errorf("bad cell %q", a.Values[id])
+}

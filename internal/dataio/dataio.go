@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"kanon/internal/hierarchy"
+	"kanon/internal/redact"
 	"kanon/internal/table"
 )
 
@@ -30,7 +31,10 @@ func (e *RaggedRowError) Error() string {
 
 // DuplicateColumnError reports a header that names the same column twice.
 // Column and First are 1-based column positions of the repeat and of the
-// original occurrence.
+// original occurrence. Name holds the raw header value for programmatic
+// callers; the rendered message carries only its digest — header cells
+// come from the same untrusted stream as data cells, and diagnostics must
+// stay content-free (DESIGN.md §16).
 type DuplicateColumnError struct {
 	Name          string
 	Column, First int
@@ -38,7 +42,23 @@ type DuplicateColumnError struct {
 
 // Error implements error.
 func (e *DuplicateColumnError) Error() string {
-	return fmt.Sprintf("dataio: duplicate column name %q (columns %d and %d)", e.Name, e.First, e.Column)
+	return fmt.Sprintf("dataio: duplicate column name (%s) at columns %d and %d", redact.Value(e.Name), e.First, e.Column)
+}
+
+// UnknownValueError reports a hierarchy-spec value that is not in the
+// named attribute's domain. Subset is the 0-based subset index within the
+// attribute's spec entry; Digest is the FNV-1a digest of the offending
+// value — the raw content never enters the message, only its position and
+// digest (DESIGN.md §16).
+type UnknownValueError struct {
+	Attribute string
+	Subset    int
+	Digest    string
+}
+
+// Error implements error.
+func (e *UnknownValueError) Error() string {
+	return fmt.Sprintf("dataio: attribute %q subset %d names a value (%s) outside the domain", e.Attribute, e.Subset, e.Digest)
 }
 
 // EmptyTableError reports CSV input with no data rows. HeaderOnly
@@ -172,6 +192,7 @@ func ReadCSVOptions(r io.Reader, opt ReadOptions) (*table.Table, error) {
 	}
 	attrs := make([]*table.Attribute, nAttrs)
 	for j := range attrs {
+		//kanon:allow leakcheck -- names[j] is a schema name from the CSV header; attribute names are released in the output header by design (the duplicate-domain error formats the name, never a cell value)
 		a, err := table.NewAttribute(names[j], domains[j])
 		if err != nil {
 			return nil, err
@@ -327,7 +348,7 @@ func LoadHierarchies(r io.Reader, schema *table.Schema) ([]*hierarchy.Hierarchy,
 			for _, v := range ss.Values {
 				id, err := attr.ValueID(v)
 				if err != nil {
-					return nil, fmt.Errorf("dataio: attribute %q subset %d: %w", attr.Name, si, err)
+					return nil, &UnknownValueError{Attribute: attr.Name, Subset: si, Digest: redact.Value(v)}
 				}
 				ids = append(ids, id)
 			}
@@ -380,5 +401,6 @@ func SaveHierarchies(w io.Writer, schema *table.Schema, hiers []*hierarchy.Hiera
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	//kanon:allow leakcheck -- SaveHierarchies writes the hierarchy spec data file, a released artifact like WriteCSV: domain values belong in it by design
 	return enc.Encode(spec)
 }

@@ -22,6 +22,7 @@ import (
 	"kanon/internal/loss"
 	"kanon/internal/obs"
 	"kanon/internal/par"
+	"kanon/internal/redact"
 	"kanon/internal/resilient"
 	"kanon/internal/risk"
 	"kanon/internal/table"
@@ -450,7 +451,10 @@ func runRecovered(fn func() (*table.GenTable, *cluster.AggloStats, error)) (g *t
 			if tp, ok := v.(*par.TaskPanic); ok {
 				v = tp.Value
 			}
-			g, st, err = nil, nil, fmt.Errorf("run panicked: %v", v)
+			// The redacted form keeps the panic payload — which may embed
+			// record values — out of Run.Error, which is checkpointed as
+			// JSONL and printed by the CLIs (DESIGN.md §16).
+			g, st, err = nil, nil, fmt.Errorf("run panicked: %s", redact.Panic(v))
 		}
 	}()
 	fault.Inject(SiteRun)

@@ -27,11 +27,12 @@ package par
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"kanon/internal/redact"
 )
 
 // TaskPanic wraps a panic captured inside a pool task; the pool re-raises
@@ -43,9 +44,13 @@ type TaskPanic struct {
 	Stack []byte
 }
 
-// Error implements error so recovered TaskPanics render cleanly.
+// Error implements error so recovered TaskPanics render cleanly. The
+// payload is rendered in redacted form (dynamic type + digest): a panic
+// raised inside an engine may interpolate record values, and the rendered
+// message flows into logs and reports (DESIGN.md §16). Inspect Value or
+// Unwrap for the payload itself.
 func (t *TaskPanic) Error() string {
-	return fmt.Sprintf("par: panic in pool task: %v", t.Value)
+	return "par: panic in pool task: " + redact.Panic(t.Value)
 }
 
 // Unwrap exposes the original panic value when it was an error, so

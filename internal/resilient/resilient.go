@@ -46,6 +46,7 @@ import (
 	"kanon/internal/fault"
 	"kanon/internal/obs"
 	"kanon/internal/par"
+	"kanon/internal/redact"
 )
 
 // SiteShardRetry is the fault-injection site fired at the start of every
@@ -156,9 +157,12 @@ type PanicError struct {
 	Stack []byte
 }
 
-// Error implements error.
+// Error implements error. The panic payload may embed record values (a
+// cell string interpolated by the code that panicked), so the message
+// carries only its dynamic type and digest (DESIGN.md §16); callers that
+// need the payload programmatically use Value or Unwrap.
 func (e *PanicError) Error() string {
-	return fmt.Sprintf("resilient: contained shard panic: %v", e.Value)
+	return "resilient: contained shard panic: " + redact.Panic(e.Value)
 }
 
 // Unwrap exposes the panic value when it was an error (e.g. a
@@ -321,7 +325,10 @@ func classify(err error, prevPanic string) Attempt {
 	}
 	var pe *PanicError
 	if errors.As(err, &pe) {
-		msg := fmt.Sprint(pe.Value)
+		// The redacted form (type + digest) is what enters the report and
+		// what repeat detection compares: identical payloads digest
+		// identically, and the raw value never reaches a diagnostic line.
+		msg := redact.Panic(pe.Value)
 		class := ClassTransient
 		if msg == prevPanic {
 			class = ClassDeterministic

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"kanon/internal/redact"
 )
 
 // Attribute describes one public attribute (quasi-identifier): a name and a
@@ -41,8 +43,11 @@ func NewAttribute(name string, values []string) (*Attribute, error) {
 	}
 	idx := make(map[string]int, len(values))
 	for i, v := range values {
-		if _, dup := idx[v]; dup {
-			return nil, fmt.Errorf("table: attribute %q has duplicate value %q", name, v)
+		if first, dup := idx[v]; dup {
+			// The duplicate is a raw cell value: diagnostics carry its
+			// digest and both positions, never the content (DESIGN.md §16).
+			return nil, fmt.Errorf("table: attribute %q has duplicate value (%s) at domain positions %d and %d",
+				name, redact.Value(v), first, i)
 		}
 		idx[v] = i
 	}
@@ -74,7 +79,10 @@ func (a *Attribute) ValueID(v string) (int, error) {
 	}
 	id, ok := a.index[v]
 	if !ok {
-		return 0, fmt.Errorf("table: value %q not in domain of attribute %q", v, a.Name)
+		// v may be a raw cell value from user input: the error names the
+		// attribute (schema names are part of the release) but carries only
+		// the value's digest (DESIGN.md §16).
+		return 0, fmt.Errorf("table: value (%s) not in domain of attribute %q", redact.Value(v), a.Name)
 	}
 	return id, nil
 }
