@@ -33,8 +33,17 @@ const (
 	// SiteInitScan fires once per record of the initial O(n²)
 	// nearest-neighbour build.
 	SiteInitScan = "cluster.agglo.init"
+	// SiteInitTile fires once per (record-block, candidate-tile) cell of the
+	// tiled initial build on the lazy heap path (DESIGN.md §17); the
+	// reference path never reaches it.
+	SiteInitTile = "cluster.agglo.init_tile"
 	// SiteMerge fires once per merge iteration of the main loop.
 	SiteMerge = "cluster.agglo.merge"
+	// SiteHeapRepair fires once per lazy pop-time heal: a heap entry popped
+	// fresh whose cached nearest neighbour has since died, forcing its
+	// owner's list to prune, possibly rescan, and re-push (DESIGN.md §17).
+	// Like every site it doubles as a cancellation poll.
+	SiteHeapRepair = "cluster.agglo.heap_repair"
 	// SiteAbsorb fires once per leftover record absorbed in the final pass.
 	SiteAbsorb = "cluster.agglo.absorb"
 )
@@ -85,10 +94,29 @@ type AggloStats struct {
 	DistEvals int64 `json:"dist_evals"`
 	// Merges counts cluster merges (iterations of the main loop).
 	Merges int64 `json:"merges"`
-	// RepairScans counts full nearest-neighbour rescans forced by a cluster
-	// losing both cached neighbours in one merge — the engine's rare slow
-	// path.
+	// RepairScans counts full nearest-neighbour rescans — a cluster
+	// re-deriving its cached neighbours over every live cluster, the
+	// engine's rare slow path. On the reference path these are the
+	// both-neighbours-died sweeps; on the lazy path RepairScans equals
+	// DeadNNRescans.
 	RepairScans int64 `json:"repair_scans"`
+	// HeapPushes counts candidate entries pushed onto the lazy selection
+	// heap (DESIGN.md §17): one per initial row list, two per newborn
+	// (row + column), one per pop-time heal. Zero on the reference
+	// (NoKernel) path. Worker-invariant.
+	HeapPushes int64 `json:"heap_pushes"`
+	// StalePops counts heap entries discarded at pop because their
+	// generation tag no longer matched the owning list's — the lazy path's
+	// deferred invalidation work. Worker-invariant.
+	StalePops int64 `json:"stale_pops"`
+	// DeadNNRescans counts pop-time full rescans: a fresh heap entry whose
+	// cached neighbour died with the rest of its list dead or undercut by
+	// the list's discard bound. Worker-invariant.
+	DeadNNRescans int64 `json:"dead_nn_rescans"`
+	// TilesScanned counts fixed-size candidate tiles walked by the tiled
+	// initial build, the newborn-offer pass and single-cluster rescans.
+	// Worker-invariant (tile geometry depends only on sizes, not sharding).
+	TilesScanned int64 `json:"tiles_scanned"`
 	// InitNanos is the wall time of singleton construction plus the initial
 	// O(n²) nearest-neighbour build.
 	InitNanos int64 `json:"init_ns"`
@@ -237,6 +265,15 @@ const (
 //     min-reductions: every span reports its local best(s) and the spans
 //     are folded in ascending id order with strict-< comparisons,
 //     reproducing the sequential left-to-right scan.
+//
+// With the kernel armed the engine instead runs the lazy NN-heap of
+// lazynn.go (DESIGN.md §17): every cluster carries fixed-depth
+// nearest-neighbour caches built once at birth, selection pops a
+// (d, row, wit)-keyed min-heap with generation-tagged staleness checks and
+// pop-time healing, and a merge touches no cluster beyond its newborns —
+// whose caches are built by one tiled pass over the dense live list. The
+// clustering is byte-identical to the reference path: both select the same
+// lexicographic (d1, id, nn) minimum at every step.
 type aggloEngine struct {
 	s   *Space
 	tbl *table.Table
@@ -281,6 +318,30 @@ type aggloEngine struct {
 	spanBestD []float64
 	spanEvals []int64
 	needScan  []bool
+
+	// Lazy NN-heap selection state (kernel mode only; DESIGN.md §17).
+	// rowNN[i]/colNN[i] are cluster i's birth-time nearest-neighbour caches
+	// (lazynn.go); rowGen/colGen are their generation tags, bumped on every
+	// heal-and-repush and on kill so stale heap entries discard O(1) at
+	// pop. nnHeap holds at most one fresh entry per list under the total
+	// key (d, row, wit, kind, gen). liveList is the dense list of live ids
+	// (livePos its inverse, swap-remove on kill): the tiled passes iterate
+	// it instead of scanning the whole arena past dead slots.
+	lazy     bool
+	nnHeap   []heapEnt
+	rowNN    []nnList
+	colNN    []nnList
+	rowGen   []uint32
+	colGen   []uint32
+	liveList []int32
+	livePos  []int32
+
+	// Per-span scratch of the lazy path's sharded list builds: the initial
+	// build's cross-span partial rows, and one row/column partial list per
+	// span for newborn passes and rescans.
+	spanInitPart [][]nnList
+	spanRowList  []nnList
+	spanColList  []nnList
 
 	// Kernel-mode scratch, reused across merges: the newborn-id list of
 	// each merge and the shrink prefix/suffix closure slabs.
@@ -328,6 +389,15 @@ func (e *aggloEngine) run() error {
 	e.spanBest = make([]int, w)
 	e.spanBestD = make([]float64, w)
 	e.spanEvals = make([]int64, w)
+	// The lazy heap path rides on the kernel arena's flat closures; the
+	// reference (NoKernel) engine keeps the legacy sweep so the equivalence
+	// matrix retains an independent oracle.
+	e.lazy = e.kern != nil
+	if e.lazy {
+		e.spanInitPart = make([][]nnList, w)
+		e.spanRowList = make([]nnList, w)
+		e.spanColList = make([]nnList, w)
+	}
 
 	t0 := time.Now() //kanon:allow determinism -- phase wall-clock feeds Stats timing only, never engine output
 	endInit := e.o.Phase(PhaseInit)
@@ -337,6 +407,15 @@ func (e *aggloEngine) run() error {
 	e.nn2 = make([]int, 0, 2*n)
 	e.d1 = make([]float64, 0, 2*n)
 	e.d2 = make([]float64, 0, 2*n)
+	if e.lazy {
+		e.rowNN = make([]nnList, 0, 2*n)
+		e.colNN = make([]nnList, 0, 2*n)
+		e.rowGen = make([]uint32, 0, 2*n)
+		e.colGen = make([]uint32, 0, 2*n)
+		e.livePos = make([]int32, 0, 2*n)
+		e.liveList = make([]int32, 0, n)
+		e.nnHeap = make([]heapEnt, 0, 2*n)
+	}
 	if e.kern != nil {
 		e.kern.reserve(2*n, n)
 		e.mHead = make([]int32, 0, 2*n)
@@ -350,22 +429,29 @@ func (e *aggloEngine) run() error {
 			e.push(e.s.NewSingleton(e.tbl, i))
 		}
 	}
-	// Initial nearest-neighbour build: one independent scan per cluster.
-	// Each record's O(n) scan is a cancellation checkpoint, bounding the
-	// engine's reaction latency to one scan per worker.
-	_, err := e.pool.ForSpansCtx(e.ctx, n, initScanGrain, func(lo, hi, _ int) {
-		evals := int64(0)
-		for i := lo; i < hi; i++ {
-			if e.cancelled() {
-				break
+	// Initial nearest-neighbour build. The lazy path blocks it into
+	// cache-sized tiles over the kernel arena and seeds the selection heap;
+	// the reference path runs one independent scan per cluster. Either way
+	// every record is a cancellation checkpoint, bounding the engine's
+	// reaction latency to one block or scan per worker.
+	var err error
+	if e.lazy {
+		err = e.buildNNTiled(n)
+	} else {
+		_, err = e.pool.ForSpansCtx(e.ctx, n, initScanGrain, func(lo, hi, _ int) {
+			evals := int64(0)
+			for i := lo; i < hi; i++ {
+				if e.cancelled() {
+					break
+				}
+				fault.Inject(SiteInitScan)
+				ev := e.scanNN(i)
+				evals += ev
+				e.o.Event(obs.KindScan, PhaseInit, ev)
 			}
-			fault.Inject(SiteInitScan)
-			ev := e.scanNN(i)
-			evals += ev
-			e.o.Event(obs.KindScan, PhaseInit, ev)
-		}
-		e.distEvals.Add(evals)
-	})
+			e.distEvals.Add(evals)
+		})
+	}
 	e.stats.InitNanos = time.Since(t0).Nanoseconds()
 	endInit()
 	if err != nil {
@@ -381,7 +467,16 @@ func (e *aggloEngine) run() error {
 		}
 		fault.Inject(SiteMerge)
 		tSel := time.Now() //kanon:allow determinism -- phase wall-clock feeds Stats timing only, never engine output
-		best := e.bestLive()
+		var best int
+		if e.lazy {
+			best = e.selectPairHeap()
+			if e.cancelled() {
+				endMerge()
+				return e.ctx.Err()
+			}
+		} else {
+			best = e.bestLive()
+		}
 		if best < 0 {
 			break // defensive: cannot happen with nLive > 1
 		}
@@ -410,7 +505,11 @@ func (e *aggloEngine) run() error {
 		e.addedScratch = added[:0]
 		tRep := time.Now() //kanon:allow determinism -- phase wall-clock feeds Stats timing only, never engine output
 		e.stats.SelectNanos += tRep.Sub(tSel).Nanoseconds()
-		e.repairNN(a, b, added)
+		if e.lazy {
+			e.repairHeap(added)
+		} else {
+			e.repairNN(a, b, added)
+		}
 		e.stats.RepairNanos += time.Since(tRep).Nanoseconds()
 		e.stats.Merges++
 		e.o.Event(obs.KindMerge, PhaseMerge, int64(mergedSize))
@@ -457,6 +556,14 @@ func (e *aggloEngine) run() error {
 		e.o.Counter("cluster.merges", e.stats.Merges)
 		e.o.Counter("cluster.repair_scans", e.stats.RepairScans)
 		e.o.Counter("cluster.absorbs", absorbed)
+		if e.lazy {
+			// Lazy-heap work counters (DESIGN.md §17); all maintained on the
+			// driving goroutine over worker-invariant quantities.
+			e.o.Counter(obs.CounterHeapPushes, e.stats.HeapPushes)
+			e.o.Counter(obs.CounterStalePops, e.stats.StalePops)
+			e.o.Counter(obs.CounterDeadNNRescans, e.stats.DeadNNRescans)
+			e.o.Counter(obs.CounterTilesScanned, e.stats.TilesScanned)
+		}
 		if k := e.kern; k != nil {
 			// Every non-shrink distance evaluation resolves r per-attribute
 			// LCA costs, each served by a fused table or a fallback walk;
@@ -490,6 +597,16 @@ func (e *aggloEngine) push(c *Cluster) int {
 	e.d1 = append(e.d1, math.Inf(1))
 	e.d2 = append(e.d2, math.Inf(1))
 	e.nLive++
+	if e.lazy {
+		e.rowNN = append(e.rowNN, nnList{})
+		e.colNN = append(e.colNN, nnList{})
+		e.rowNN[id].reset()
+		e.colNN[id].reset()
+		e.rowGen = append(e.rowGen, 0)
+		e.colGen = append(e.colGen, 0)
+		e.livePos = append(e.livePos, int32(len(e.liveList)))
+		e.liveList = append(e.liveList, int32(id))
+	}
 	return id
 }
 
@@ -497,6 +614,20 @@ func (e *aggloEngine) kill(id int) {
 	if e.alive[id] {
 		e.alive[id] = false
 		e.nLive--
+		if e.lazy {
+			// The gen bumps stale both of id's heap entries in O(1); the dense
+			// live list drops it by swap-remove (order is irrelevant — every
+			// fold over the list uses explicit lexicographic comparisons).
+			e.rowGen[id]++
+			e.colGen[id]++
+			p := e.livePos[id]
+			last := int32(len(e.liveList) - 1)
+			moved := e.liveList[last]
+			e.liveList[p] = moved
+			e.livePos[moved] = p
+			e.liveList = e.liveList[:last]
+			e.livePos[id] = -1
+		}
 		if e.kern != nil {
 			e.kern.kill(id)
 		}
@@ -791,7 +922,10 @@ func (e *aggloEngine) absorbAllowed(f *Cluster, ri int) bool {
 func (e *aggloEngine) shrink(c *Cluster) []int {
 	var removed []int
 	e.beginShrink(c.Members)
-	for c.Size() > e.opt.K {
+	// Constrained runs admit K ≤ 1 (the constraint carries the privacy
+	// guarantee); a cluster still needs one member, so the shrink target is
+	// floored at a singleton.
+	for c.Size() > max(e.opt.K, 1) {
 		bestIdx, bestD := -1, math.Inf(-1)
 		var bestRest *Cluster
 		evals := int64(0)

@@ -79,6 +79,32 @@ func BenchmarkAgglomerateWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkAgglomerateLarge is the scaling sweep of the lazy NN-heap path
+// (DESIGN.md §17): n=20000..100000 single-node, with the engine's own
+// phase breakdown reported as benchmark metrics. Deliberately excluded
+// from CI's bench-smoke regex — one n=100000 iteration is minutes, these
+// rows are refreshed manually into BENCH_cluster.json.
+func BenchmarkAgglomerateLarge(b *testing.B) {
+	for _, n := range []int{20000, 50000, 100000} {
+		b.Run(fmt.Sprintf("n=%d/workers=1", n), func(b *testing.B) {
+			s, ds := benchSpace(b, n)
+			b.ResetTimer()
+			var st AggloStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = AgglomerateStats(s, ds.Table, AggloOptions{K: 10, Distance: D3{}, Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.InitNanos), "init_ns")
+			b.ReportMetric(float64(st.SelectNanos), "select_ns")
+			b.ReportMetric(float64(st.RepairNanos), "repair_ns")
+			b.ReportMetric(float64(st.StalePops), "stale_pops")
+		})
+	}
+}
+
 // BenchmarkAgglomerateKernelOff is the n=2000 reference-path run: diffing
 // it against BenchmarkAgglomerateWorkers/n=2000/workers=1 isolates the flat
 // kernel's speedup inside one binary.

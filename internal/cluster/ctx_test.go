@@ -21,7 +21,9 @@ func TestAgglomerateCtxCancelAtEverySite(t *testing.T) {
 		hit  int64
 	}{
 		{SiteInitScan, 10},
+		{SiteInitTile, 2},
 		{SiteMerge, 5},
+		{SiteHeapRepair, 1},
 		{SiteAbsorb, 1},
 	} {
 		t.Run(tc.site, func(t *testing.T) {

@@ -54,13 +54,16 @@ func fuzzTable(data []byte) (*table.Table, []int) {
 // FuzzAgglomerate drives the engine over small random tables: whatever the
 // input, the engine must not panic, must either reject the options
 // identically at every worker count or return a clustering satisfying the
-// structural invariants, and the parallel clustering must equal the
-// sequential one exactly.
+// structural invariants, the parallel clustering must equal the sequential
+// one exactly, and the lazy-heap kernel path must equal the reference
+// (NoKernel) sweep exactly — including under ℓ-diversity and t-closeness
+// constraints (mode bits 2 and 4).
 func FuzzAgglomerate(f *testing.F) {
 	f.Add([]byte{0x00}, uint8(2), uint8(0), uint8(0))
 	f.Add([]byte{0x01, 0x02, 0x13, 0x24, 0x35, 0x46, 0x57, 0x68, 0x79, 0x8a}, uint8(3), uint8(2), uint8(1))
 	f.Add([]byte{0xff, 0xfe, 0xfd, 0xfc, 0x01, 0x02, 0x03, 0x04}, uint8(2), uint8(3), uint8(3))
 	f.Add([]byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0x11, 0x22, 0x33, 0x44}, uint8(4), uint8(1), uint8(2))
+	f.Add([]byte{0x10, 0x32, 0x54, 0x76, 0x98, 0xba, 0xdc, 0xfe, 0x21, 0x43}, uint8(5), uint8(4), uint8(5))
 	f.Fuzz(func(t *testing.T, data []byte, kb, distSel, mode uint8) {
 		s := fuzzSpace(t)
 		tbl, sensitive := fuzzTable(data)
@@ -77,6 +80,10 @@ func FuzzAgglomerate(f *testing.F) {
 			opt.Constraints = []Constraint{DistinctLDiversity(minDiv)}
 			opt.Sensitive = sensitive
 		}
+		if mode&4 != 0 {
+			opt.Constraints = append(opt.Constraints, TCloseness(0.5))
+			opt.Sensitive = sensitive
+		}
 		seq, seqErr := Agglomerate(s, tbl, opt)
 		for _, w := range []int{2, 4} {
 			opt.Workers = w
@@ -88,6 +95,16 @@ func FuzzAgglomerate(f *testing.F) {
 				continue
 			}
 			assertSameClustering(t, "fuzz", seq, par)
+		}
+		optRef := opt
+		optRef.Workers = 1
+		optRef.NoKernel = true
+		ref, refErr := Agglomerate(s, tbl, optRef)
+		if (seqErr == nil) != (refErr == nil) {
+			t.Fatalf("kernel err=%v, reference err=%v", seqErr, refErr)
+		}
+		if seqErr == nil {
+			assertSameClustering(t, "fuzz kernel vs reference", seq, ref)
 		}
 		if seqErr != nil {
 			return

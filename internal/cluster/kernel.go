@@ -275,6 +275,35 @@ func (k *kernel) dist(a, b int) float64 {
 	return k.eval(sa, sb, sa+sb, k.cost[a], k.cost[b], dU)
 }
 
+// distPair evaluates dist(A, B) and dist(B, A) together. Both orientations
+// share the expensive part — the per-attribute LCA-cost sum is symmetric
+// (LCA(u, v) = LCA(v, u), so the fused-table loads hit the same cells) —
+// leaving only the two cheap eval combinations. Each result is bit-identical
+// to the corresponding dist() call: dU is the same ascending-attribute sum
+// and eval repeats the same expression, so the lazy engine's pair-at-once
+// passes (DESIGN.md §17) cannot drift from the reference path.
+func (k *kernel) distPair(a, b int) (dab, dba float64) {
+	ra, rb := k.row(a), k.row(b)
+	sum := 0.0
+	if k.allTabled {
+		for j, t := range k.fused {
+			sum += t[int(ra[j])*k.nn[j]+int(rb[j])]
+		}
+	} else {
+		for j := 0; j < k.r; j++ {
+			if t := k.fused[j]; t != nil {
+				sum += t[int(ra[j])*k.nn[j]+int(rb[j])]
+			} else {
+				sum += k.s.costs[j][k.s.Hiers[j].LCA(int(ra[j]), int(rb[j]))]
+			}
+		}
+	}
+	dU := sum / float64(k.r)
+	sa, sb := int(k.size[a]), int(k.size[b])
+	ca, cb := k.cost[a], k.cost[b]
+	return k.eval(sa, sb, sa+sb, ca, cb, dU), k.eval(sb, sa, sb+sa, cb, ca, dU)
+}
+
 // pushSingletonK pushes record i as a singleton cluster in kernel mode:
 // its closure row (the record's leaves) and cost go straight into the
 // arena with no per-cluster heap allocation, and its member chain is the
@@ -368,7 +397,9 @@ func (e *aggloEngine) shrinkK(c *Cluster) []int {
 	r := k.r
 	var removed []int
 	e.beginShrink(c.Members)
-	for len(c.Members) > e.opt.K {
+	// Same singleton floor as the reference shrink: constrained runs admit
+	// K ≤ 1, and a cluster cannot shrink below one member.
+	for len(c.Members) > max(e.opt.K, 1) {
 		m := len(c.Members)
 		need := (m + 1) * r
 		if cap(e.shrinkPre) < need {

@@ -110,6 +110,40 @@ func TestKernelEquivalenceDiverse(t *testing.T) {
 	}
 }
 
+// TestKernelEquivalenceTCloseness runs the matrix under t-closeness — a
+// non-addition-safe constraint, so the guarded absorb path runs too. With
+// the lazy heap selection this is the constraint leg of the DESIGN.md §17
+// oracle: ripe-shrink re-seeds singletons into the heap and the clustering
+// must still match the reference sweep byte for byte.
+func TestKernelEquivalenceTCloseness(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	s, tbl := randomSpace(t, rng, kernelEquivalenceN(t))
+	sensitive := make([]int, tbl.Len())
+	for i := range sensitive {
+		sensitive[i] = rng.Intn(5)
+	}
+	for _, modified := range []bool{false, true} {
+		ref, err := Agglomerate(s, tbl, AggloOptions{
+			K: 6, Distance: D3{}, Modified: modified,
+			Constraints: []Constraint{TCloseness(0.4)}, Sensitive: sensitive, Workers: 1, NoKernel: true,
+		})
+		if err != nil {
+			t.Fatalf("reference modified=%v: %v", modified, err)
+		}
+		for _, workers := range []int{1, 4} {
+			label := fmt.Sprintf("t-close modified=%v workers=%d", modified, workers)
+			got, err := Agglomerate(s, tbl, AggloOptions{
+				K: 6, Distance: D3{}, Modified: modified,
+				Constraints: []Constraint{TCloseness(0.4)}, Sensitive: sensitive, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			assertSameClustering(t, label, ref, got)
+		}
+	}
+}
+
 // overBudgetSpace builds a space whose first attribute has more nodes than
 // the dense-table budget admits (NumNodes² > hierarchy.LCATableBudget), so
 // the kernel must keep the walk-up path for it, alongside a small tabled

@@ -1,0 +1,566 @@
+package cluster
+
+import (
+	"math"
+
+	"kanon/internal/fault"
+	"kanon/internal/obs"
+)
+
+// This file implements the lazy NN-heap merge selection of the kernel-mode
+// agglomerative engine (DESIGN.md §17). The legacy engine pays three
+// O(arena) passes on every merge — the bestLive selection scan, the repair
+// sweep (which re-offers the newborn to every live cluster) and the newborn
+// wide-scan. Here a merge touches no existing cluster at all:
+//
+//   - every cluster owns two fixed-capacity nearest-neighbour caches, built
+//     once at birth and never updated by later merges. Its ROW list caches
+//     the lex top-nnListCap of dist(c, y) over the clusters y born before
+//     c; its COLUMN list caches the top of dist(y, c) over the same set.
+//     Birth order is id order, so together the two lists of the younger
+//     endpoint cover every ordered pair of live clusters exactly once;
+//   - each list carries a discard bound ub — the lex-least candidate ever
+//     rejected or evicted since the list was last built — so while the
+//     head is lex-below ub the head is exactly the list's true current
+//     minimum over live candidates, no matter how many entries died;
+//   - a min-heap holds (at most) one entry per list: the list's head at
+//     push time, keyed by the full lexicographic selection key
+//     (d, row, wit) — the reference engine's argmin over (d1[i], i) with
+//     the (d, j) neighbour tie-break, flattened into one total order.
+//     Generation tags (rowGen/colGen, bumped on every re-push and on
+//     death) let stale entries be discarded O(1) at pop;
+//   - a popped fresh entry whose partner died heals lazily: prune the
+//     list's dead prefix, and either the surviving head is still below ub
+//     (push it — exact, no distance work) or the list is exhausted and the
+//     cluster rescans over the dense live list (the rare DeadNNRescans
+//     path, sharded in nnTile-sized tiles);
+//   - a merge that bears newborns runs one pass per newborn over the live
+//     list — distPair evaluates each (newborn, live) pair once for both
+//     orientations — building the newborn's row and column lists; a merge
+//     that finalizes its cluster (Algorithm 1 absorbing a ripe cluster)
+//     does no pass at all;
+//   - the initial build walks the strict lower triangle in
+//     initBlock×nnTile tiles, one distPair per unordered pair, feeding
+//     row[i] and column[i] which only block-owner workers write.
+//
+// Determinism: heap keys are unique — (kind, owner, gen) never repeats
+// because the owner's generation is bumped before every re-push — so the
+// pop sequence is the total (d, row, wit, kind, gen) order of the pushed
+// multiset, independent of push order, heap layout and worker count.
+// List contents are push-order independent (the top-k set and the lex-min
+// of the discarded remainder are functions of the candidate set only), so
+// span-sharded builds fold to identical lists at every worker count. Stale
+// or dead-referencing entries are lower bounds for their list's current
+// key (a list's minimum only grows between pushes: entries only die), so
+// discarding or healing them never skips the true minimum, and the first
+// valid pop is exactly the reference engine's (d1, id, nn) argmin —
+// clusterings are byte-identical.
+
+// Tile geometry of the lazy path. nnTile is the candidate-tile width of
+// the initial build, the newborn pass and single-cluster rescans: 512
+// closure rows keep a tile's arena rows and fused-table lines hot while
+// staying well under L1 for the bench schemas. initBlock is the
+// record-block height of the initial build; it also fixes the build's span
+// count, so a 100-record table still splits across ≥4 spans and pool
+// panic/cancel semantics stay exercised at small n.
+const (
+	nnTile    = 512
+	initBlock = 32
+)
+
+// nnListCap is the depth of the per-cluster neighbour caches. Depth trades
+// memory (two caches per cluster) against rescan frequency: a cache only
+// forces a rescan once all its entries died with the discard bound
+// undercutting the survivors, which at depth 8 makes full rescans rare even
+// under distances (10)/(11) where everyone chases the same big cluster.
+const nnListCap = 8
+
+// heapEnt is one lazy selection candidate: the merge pair (row, wit) at
+// distance d = dist(row, wit), owned by either row's row list (entRow,
+// owner = row) or wit's column list (entCol, owner = wit), stamped with the
+// owner's generation at push time.
+type heapEnt struct {
+	d    float64
+	row  int32
+	wit  int32
+	gen  uint32
+	kind uint8
+}
+
+const (
+	entRow = 0
+	entCol = 1
+)
+
+// entLess orders entries by the total key (d, row, wit, kind, gen). The
+// (d, row, wit) prefix is the reference selection order — cheapest merge,
+// lowest cluster id, lowest neighbour id. kind and gen never decide a
+// selection (two fresh entries can share (d, row, wit) only when a rescan
+// widened a row's coverage over a pair a column also covers, and then both
+// entries demand the identical merge); they make the order total so the pop
+// sequence, and with it StalePops, is a pure function of the pushed set.
+func entLess(a, b heapEnt) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	if a.row != b.row {
+		return a.row < b.row
+	}
+	if a.wit != b.wit {
+		return a.wit < b.wit
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.gen < b.gen
+}
+
+// lexLess is the (distance, id) lexicographic candidate order shared by the
+// lists, their discard bounds and the reference engine's strict-< scans.
+func lexLess(d1 float64, i1 int32, d2 float64, i2 int32) bool {
+	return d1 < d2 || (d1 == d2 && i1 < i2)
+}
+
+// nnList is one fixed-capacity nearest-neighbour cache: the lex top-n
+// candidates seen since the last full build, sorted ascending, plus the
+// discard bound (ubD, ubID) — the lex-least candidate rejected or evicted
+// since then (+Inf when none was). Every live candidate outside the list
+// is lex-≥ the bound, so whenever the head is lex-below the bound the head
+// is the exact current minimum. (hd, hw) mirrors the key of the list's
+// current fresh heap entry (hw < 0: none), letting heap compaction rebuild
+// the fresh entry set without re-healing any list.
+type nnList struct {
+	d    [nnListCap]float64
+	id   [nnListCap]int32
+	n    int32
+	ubD  float64
+	ubID int32
+	hd   float64
+	hw   int32
+}
+
+// reset empties the list and lifts the discard bound.
+func (l *nnList) reset() {
+	l.n = 0
+	l.ubD = math.Inf(1)
+	l.ubID = 0
+	l.hw = -1
+}
+
+// offer folds candidate (d, id) into the list, demoting the evicted or
+// rejected candidate into the discard bound. The resulting (set, bound)
+// pair is offer-order independent: the set is the lex top-n of everything
+// offered since reset, the bound the lex-min of the rest.
+func (l *nnList) offer(d float64, id int32) {
+	n := l.n
+	if n == nnListCap {
+		if !lexLess(d, id, l.d[nnListCap-1], l.id[nnListCap-1]) {
+			if lexLess(d, id, l.ubD, l.ubID) {
+				l.ubD, l.ubID = d, id
+			}
+			return
+		}
+		if lexLess(l.d[nnListCap-1], l.id[nnListCap-1], l.ubD, l.ubID) {
+			l.ubD, l.ubID = l.d[nnListCap-1], l.id[nnListCap-1]
+		}
+		n--
+	}
+	i := n
+	for i > 0 && lexLess(d, id, l.d[i-1], l.id[i-1]) {
+		l.d[i], l.id[i] = l.d[i-1], l.id[i-1]
+		i--
+	}
+	l.d[i], l.id[i] = d, id
+	l.n = n + 1
+}
+
+// mergeFrom folds another list (a span-local partial over a disjoint
+// candidate range) into l. Discards recorded by either side stay valid
+// for the union: a candidate discarded from a partial already had
+// nnListCap lex-smaller candidates there, so it cannot re-enter the
+// merged top-n.
+func (l *nnList) mergeFrom(o *nnList) {
+	for k := int32(0); k < o.n; k++ {
+		l.offer(o.d[k], o.id[k])
+	}
+	if lexLess(o.ubD, o.ubID, l.ubD, l.ubID) {
+		l.ubD, l.ubID = o.ubD, o.ubID
+	}
+}
+
+// pruneDead drops dead entries from the front of the list. Interior dead
+// entries are left in place — they are skipped when they surface.
+func (l *nnList) pruneDead(alive []bool) {
+	for l.n > 0 && !alive[l.id[0]] {
+		n := l.n
+		copy(l.d[:n-1], l.d[1:n])
+		copy(l.id[:n-1], l.id[1:n])
+		l.n = n - 1
+	}
+}
+
+// headExact reports whether the list's head is provably the exact current
+// minimum over its live candidate range: the front is alive (caller
+// pruned) and lex-below the discard bound.
+func (l *nnList) headExact() bool {
+	return l.n > 0 && lexLess(l.d[0], l.id[0], l.ubD, l.ubID)
+}
+
+// heapPushEnt pushes one candidate entry.
+func (e *aggloEngine) heapPushEnt(ent heapEnt) {
+	e.stats.HeapPushes++
+	e.nnHeap = append(e.nnHeap, ent)
+	h := e.nnHeap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// pushRowHead pushes cluster id's current row head (which the caller has
+// established is exact) under id's current row generation. An empty list
+// (cluster 0 at init, or a rescan with no live partner) pushes nothing.
+func (e *aggloEngine) pushRowHead(id int) {
+	l := &e.rowNN[id]
+	if l.n == 0 {
+		l.hw = -1
+		return
+	}
+	l.hd, l.hw = l.d[0], l.id[0]
+	e.heapPushEnt(heapEnt{d: l.d[0], row: int32(id), wit: l.id[0], gen: e.rowGen[id], kind: entRow})
+}
+
+// pushColHead is pushRowHead for the column list: the entry's merge pair
+// puts the cached argmin in the row seat and the owning cluster in the
+// witness seat, keeping the heap key aligned with the reference selection
+// order.
+func (e *aggloEngine) pushColHead(id int) {
+	l := &e.colNN[id]
+	if l.n == 0 {
+		l.hw = -1
+		return
+	}
+	l.hd, l.hw = l.d[0], l.id[0]
+	e.heapPushEnt(heapEnt{d: l.d[0], row: l.id[0], wit: int32(id), gen: e.colGen[id], kind: entCol})
+}
+
+// heapPop removes and returns the minimum entry.
+func (e *aggloEngine) heapPop() (heapEnt, bool) {
+	h := e.nnHeap
+	if len(h) == 0 {
+		return heapEnt{}, false
+	}
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.nnHeap = h[:last]
+	siftDown(e.nnHeap, 0)
+	return top, true
+}
+
+func siftDown(h []heapEnt, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h) && entLess(h[l], h[s]) {
+			s = l
+		}
+		if r < len(h) && entLess(h[r], h[s]) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+}
+
+// heapMaybeCompact rebuilds the heap once stale entries dominate, bounding
+// it at O(live) amortized. Every live list mirrors its fresh entry's key in
+// (hd, hw), so the rebuild reproduces the fresh entry set exactly — no list
+// is pruned or healed, and generations are untouched. The threshold and the
+// rebuild are functions of worker-invariant state only.
+func (e *aggloEngine) heapMaybeCompact() {
+	if len(e.nnHeap) <= 4*e.nLive+64 {
+		return
+	}
+	e.nnHeap = e.nnHeap[:0]
+	for _, id := range e.liveList {
+		if l := &e.rowNN[id]; l.hw >= 0 {
+			e.nnHeap = append(e.nnHeap, heapEnt{d: l.hd, row: id, wit: l.hw, gen: e.rowGen[id], kind: entRow})
+		}
+		if l := &e.colNN[id]; l.hw >= 0 {
+			e.nnHeap = append(e.nnHeap, heapEnt{d: l.hd, row: l.hw, wit: id, gen: e.colGen[id], kind: entCol})
+		}
+	}
+	h := e.nnHeap
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+}
+
+// buildNNTiled is the lazy-path initial build. All n singletons are born
+// together, so the birth-order coverage rule degenerates: every row list
+// caches the lex top-nnListCap over ALL other clusters — both
+// orientations of every pair land in a row — and no initial cluster has a
+// column list. (Init columns would be redundant, and worse: under a hub
+// distance every column's argmin collapses onto the lowest live ids, so
+// the columns would mass-heal on every merge and drag the path back to
+// cubic. Columns exist only for newborns, whose candidate range they keep
+// narrow.)
+//
+// The strict lower triangle is walked once — one distPair per unordered
+// pair, half the reference build's evaluations of the shared LCA-cost sum
+// — in initBlock-row blocks sweeping the candidate ids in ascending
+// nnTile-wide tiles, so a tile's arena rows and fused-table lines are
+// reused across the whole block. For a pair (i, j), j < i, dist(i, j)
+// feeds row[i], owned by the block's worker; dist(j, i) feeds row[j],
+// written directly when j is inside the worker's own span and folded into
+// a span-local partial list otherwise. The partials are merged and the
+// heap seeded on the driving goroutine afterwards; lists are fold-order
+// independent, so any span geometry yields identical lists. Each tile
+// polls ctx; each record is a SiteInitScan checkpoint as on the reference
+// path, with SiteInitTile marking the tile boundaries.
+func (e *aggloEngine) buildNNTiled(n int) error {
+	numBlocks := (n + initBlock - 1) / initBlock
+	for bi := 0; bi < numBlocks; bi++ {
+		if t := min((bi+1)*initBlock, n) - 1; t > 0 {
+			e.stats.TilesScanned += int64((t + nnTile - 1) / nnTile)
+		}
+	}
+	spans, err := e.pool.ForSpansCtx(e.ctx, numBlocks, 1, func(bLo, bHi, sp int) {
+		floor := bLo * initBlock
+		var part []nnList
+		if floor > 0 {
+			part = make([]nnList, floor)
+			for j := range part {
+				part[j].reset()
+			}
+		}
+		e.spanInitPart[sp] = part
+		evals := int64(0)
+		for bi := bLo; bi < bHi && !e.cancelled(); bi++ {
+			iLo := bi * initBlock
+			iHi := min(iLo+initBlock, n)
+			for jLo := 0; jLo < iHi-1; jLo += nnTile {
+				if e.cancelled() {
+					break
+				}
+				fault.Inject(SiteInitTile)
+				jHi := min(jLo+nnTile, iHi-1)
+				for i := max(iLo, jLo+1); i < iHi; i++ {
+					row := &e.rowNN[i]
+					for j := jLo; j < min(jHi, i); j++ {
+						dij, dji := e.kern.distPair(i, j)
+						row.offer(dij, int32(j))
+						if j >= floor {
+							e.rowNN[j].offer(dji, int32(i))
+						} else {
+							part[j].offer(dji, int32(i))
+						}
+						evals += 2
+					}
+				}
+			}
+			for i := iLo; i < iHi && !e.cancelled(); i++ {
+				fault.Inject(SiteInitScan)
+				e.o.Event(obs.KindScan, PhaseInit, int64(n-1))
+			}
+		}
+		e.distEvals.Add(evals)
+	})
+	if err != nil {
+		return err
+	}
+	for sp := 0; sp < spans; sp++ {
+		for j := range e.spanInitPart[sp] {
+			e.rowNN[j].mergeFrom(&e.spanInitPart[sp][j])
+		}
+		e.spanInitPart[sp] = nil
+	}
+	for i := 0; i < n; i++ {
+		e.pushRowHead(i)
+	}
+	return nil
+}
+
+// selectPairHeap pops the heap down to the current best merge pair — the
+// lex-least (d, row, wit) over all ordered live pairs, exactly the
+// reference engine's argmin over (d1[i], i) with its (d, j) neighbour
+// tie-break. Stale entries (generation mismatch) are discarded O(1); a
+// fresh entry whose partner died heals here, lazily: prune the list's dead
+// prefix and either re-push its still-exact head or run the rare full
+// rescan. The winner's partner and distance are recorded in nn1/d1 for the
+// merge step. Returns -1 only on cancellation or an empty heap (single
+// live cluster).
+func (e *aggloEngine) selectPairHeap() int {
+	for {
+		ent, ok := e.heapPop()
+		if !ok {
+			return -1
+		}
+		if ent.kind == entRow {
+			i := int(ent.row)
+			if ent.gen != e.rowGen[i] {
+				e.stats.StalePops++
+				continue
+			}
+			// A fresh generation implies i is alive (death bumps it) and the
+			// entry is i's current head: a live witness settles the pop.
+			if w := int(ent.wit); e.alive[w] {
+				e.nn1[i], e.d1[i] = w, ent.d
+				return i
+			}
+			fault.Inject(SiteHeapRepair)
+			if e.cancelled() {
+				return -1
+			}
+			e.healList(&e.rowNN[i], i, entRow)
+		} else {
+			c := int(ent.wit)
+			if ent.gen != e.colGen[c] {
+				e.stats.StalePops++
+				continue
+			}
+			if r := int(ent.row); e.alive[r] {
+				e.nn1[r], e.d1[r] = c, ent.d
+				return r
+			}
+			fault.Inject(SiteHeapRepair)
+			if e.cancelled() {
+				return -1
+			}
+			e.healList(&e.colNN[c], c, entCol)
+		}
+	}
+}
+
+// healList restores a list whose cached head died: prune the dead prefix,
+// and if the surviving head is no longer provably exact (dead entries may
+// have exposed the discard bound) rebuild the list by a full rescan over
+// the live list. Either way the owner's generation advances and the new
+// head is pushed.
+func (e *aggloEngine) healList(l *nnList, owner int, kind uint8) {
+	l.pruneDead(e.alive)
+	if !l.headExact() {
+		e.stats.DeadNNRescans++
+		e.stats.RepairScans++
+		e.rescanList(owner, l, kind)
+	}
+	if kind == entRow {
+		e.rowGen[owner]++
+		e.pushRowHead(owner)
+	} else {
+		e.colGen[owner]++
+		e.pushColHead(owner)
+	}
+}
+
+// rescanList rebuilds one list exactly over the dense live list, sharded
+// into nnTile-sized tiles: dist(owner, y) for a row list, dist(y, owner)
+// for a column list. A rescan widens the list's coverage from its
+// birth-order range to every current live cluster — pairs a newer
+// cluster's column also covers — which is harmless: both covering entries
+// demand the identical merge.
+func (e *aggloEngine) rescanList(owner int, dst *nnList, kind uint8) {
+	live := e.liveList
+	numTiles := (len(live) + nnTile - 1) / nnTile
+	e.stats.TilesScanned += int64(numTiles)
+	spans := e.pool.ForSpans(numTiles, 1, func(tLo, tHi, sp int) {
+		l := &e.spanRowList[sp]
+		l.reset()
+		evals := int64(0)
+		for t := tLo; t < tHi; t++ {
+			hi := min((t+1)*nnTile, len(live))
+			for _, y := range live[t*nnTile : hi] {
+				if int(y) == owner {
+					continue
+				}
+				var d float64
+				if kind == entRow {
+					d = e.kern.dist(owner, int(y))
+				} else {
+					d = e.kern.dist(int(y), owner)
+				}
+				l.offer(d, y)
+				evals++
+			}
+		}
+		e.spanEvals[sp] = evals
+	})
+	dst.reset()
+	evals := int64(0)
+	for sp := 0; sp < spans; sp++ {
+		evals += e.spanEvals[sp]
+		dst.mergeFrom(&e.spanRowList[sp])
+	}
+	e.distEvals.Add(evals)
+	e.o.Event(obs.KindScan, PhaseMerge, evals)
+}
+
+// repairHeap restores the lazy-path invariants after a merge. A merge that
+// finalized its cluster (no newborn) does nothing — no existing list
+// references change meaning, and survivors whose cached partner died heal
+// at pop time. A merge that bore newborns runs one pass per newborn over
+// the live list (newborns sit at the list's tail; candidates are the
+// clusters born before it, i.e. lower ids): each candidate pair is
+// evaluated once via distPair, feeding the newborn's row and column lists,
+// which are then sealed with one heap entry each. Workers write only
+// span-local scratch; list merges, pushes and counters happen on the
+// driving goroutine in span order.
+func (e *aggloEngine) repairHeap(added []int) {
+	if len(added) == 0 {
+		e.heapMaybeCompact()
+		return
+	}
+	live := e.liveList
+	numTiles := (len(live) + nnTile - 1) / nnTile
+	for _, nb := range added {
+		e.stats.TilesScanned += int64(numTiles)
+		nb32 := int32(nb)
+		spans := e.pool.ForSpans(numTiles, 1, func(tLo, tHi, sp int) {
+			rl := &e.spanRowList[sp]
+			cl := &e.spanColList[sp]
+			rl.reset()
+			cl.reset()
+			evals := int64(0)
+			for t := tLo; t < tHi; t++ {
+				if e.cancelled() {
+					break
+				}
+				hi := min((t+1)*nnTile, len(live))
+				for _, y := range live[t*nnTile : hi] {
+					if y >= nb32 {
+						continue
+					}
+					dny, dyn := e.kern.distPair(nb, int(y))
+					rl.offer(dny, y)
+					cl.offer(dyn, y)
+					evals += 2
+				}
+			}
+			e.spanEvals[sp] = evals
+		})
+		row := &e.rowNN[nb]
+		col := &e.colNN[nb]
+		row.reset()
+		col.reset()
+		evals := int64(0)
+		for sp := 0; sp < spans; sp++ {
+			evals += e.spanEvals[sp]
+			row.mergeFrom(&e.spanRowList[sp])
+			col.mergeFrom(&e.spanColList[sp])
+		}
+		e.distEvals.Add(evals)
+		e.o.Event(obs.KindScan, PhaseMerge, evals)
+		e.pushRowHead(nb)
+		e.pushColHead(nb)
+	}
+	e.heapMaybeCompact()
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/loss"
+	"kanon/internal/table"
+)
+
+// TestHeapPopTotalOrder pins the determinism core of DESIGN.md §17: the
+// pop sequence is the sorted (d, row, wit, kind, gen) order of the pushed
+// entries, whatever the push order.
+func TestHeapPopTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ents := make([]heapEnt, 0, 64)
+	for i := 0; i < 64; i++ {
+		ents = append(ents, heapEnt{
+			d:    float64(rng.Intn(4)), // few distinct distances: ties fall through the id fields
+			row:  int32(rng.Intn(4)),
+			wit:  int32(rng.Intn(4)),
+			gen:  uint32(i),
+			kind: uint8(i % 2),
+		})
+	}
+	want := append([]heapEnt(nil), ents...)
+	sort.Slice(want, func(i, j int) bool { return entLess(want[i], want[j]) })
+	for trial := 0; trial < 10; trial++ {
+		e := &aggloEngine{}
+		for _, pi := range rng.Perm(len(ents)) {
+			e.nnHeap = append(e.nnHeap, ents[pi])
+			h := e.nnHeap
+			for i := len(h) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !entLess(h[i], h[p]) {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+		}
+		for i := range want {
+			got, ok := e.heapPop()
+			if !ok {
+				t.Fatalf("trial %d: heap empty after %d pops, want %d", trial, i, len(want))
+			}
+			if got != want[i] {
+				t.Fatalf("trial %d pop %d = %+v, want %+v", trial, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestNNListOrderIndependent checks the fold primitive of the unordered
+// sharded scans: an nnList's top-k set AND its discard bound must not
+// depend on the order candidates are offered in, nor on how the candidate
+// set is partitioned into span-local partials merged afterwards — the two
+// invariants worker-count invariance rides on.
+func TestNNListOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	snapshot := func(l *nnList) [2*nnListCap + 2]float64 {
+		var s [2*nnListCap + 2]float64
+		for k := int32(0); k < l.n; k++ {
+			s[2*k], s[2*k+1] = l.d[k], float64(l.id[k])
+		}
+		for k := l.n; k < nnListCap; k++ {
+			s[2*k] = math.Inf(1)
+		}
+		s[2*nnListCap], s[2*nnListCap+1] = l.ubD, float64(l.ubID)
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(3*nnListCap)
+		ids := rng.Perm(64)[:n]
+		ds := make([]float64, n)
+		for i := range ds {
+			ds[i] = float64(rng.Intn(4)) // force distance ties
+		}
+		var want [2*nnListCap + 2]float64
+		for p := 0; p < 20; p++ {
+			var l nnList
+			l.reset()
+			if p%2 == 0 {
+				// Flat fold in a random order.
+				for _, i := range rng.Perm(n) {
+					l.offer(ds[i], int32(ids[i]))
+				}
+			} else {
+				// Random partition into span-local partials, merged in a
+				// random order.
+				perm := rng.Perm(n)
+				parts := make([]nnList, 1+rng.Intn(4))
+				for pi := range parts {
+					parts[pi].reset()
+				}
+				for _, i := range perm {
+					parts[rng.Intn(len(parts))].offer(ds[i], int32(ids[i]))
+				}
+				for _, pi := range rng.Perm(len(parts)) {
+					l.mergeFrom(&parts[pi])
+				}
+			}
+			got := snapshot(&l)
+			if p == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("trial %d fold %d: order changed the list: %v vs %v", trial, p, got, want)
+			}
+		}
+	}
+}
+
+// hubSpace builds the known worst case of the NN cache: one flat attribute
+// with all-distinct values makes every pairwise distance identical under
+// D2, so the lowest live id is everyone's nearest neighbour and every
+// merge kills the cached nn1 AND nn2 of every live cluster.
+func hubSpace(t *testing.T, n int) (*Space, *table.Table) {
+	t.Helper()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprint(i)
+	}
+	schema := table.MustSchema(table.MustAttribute("v", names))
+	tbl := table.New(schema)
+	for i := 0; i < n; i++ {
+		tbl.MustAppend(table.Record{i})
+	}
+	hiers := []*hierarchy.Hierarchy{hierarchy.Flat(n)}
+	s, err := NewSpace(hiers, loss.NewLM(hiers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tbl
+}
+
+// TestLazyHubWorstCase seeds the adversarial hub regime and asserts the
+// lazy path's cost bound: the reference sweep rescans every live cluster
+// on every merge here (Θ(live²) per merge, Θ(n³) total distance
+// evaluations), while the lazy path heals exactly the one cluster it pops
+// — merge cost O(live·r), total O(n²) — and still returns the
+// byte-identical clustering.
+func TestLazyHubWorstCase(t *testing.T) {
+	const n = 300
+	s, tbl := hubSpace(t, n)
+	opt := AggloOptions{K: 2, Distance: D2{}, Workers: 1}
+	ref, refStats, err := AgglomerateStats(s, tbl, AggloOptions{K: 2, Distance: D2{}, Workers: 1, NoKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		opt.Workers = workers
+		got, st, err := AgglomerateStats(s, tbl, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameClustering(t, fmt.Sprintf("hub workers=%d", workers), ref, got)
+		// O(live·r) per merge: the init costs n(n−1) evaluations, and each
+		// merge at most one O(live) rescan plus O(1) heap work.
+		if limit := int64(3 * n * n); st.DistEvals > limit {
+			t.Errorf("workers=%d: DistEvals = %d, want ≤ %d (O(n²) total)", workers, st.DistEvals, limit)
+		}
+		if st.DeadNNRescans > st.Merges {
+			t.Errorf("workers=%d: %d dead-NN rescans for %d merges, want ≤ 1 per merge",
+				workers, st.DeadNNRescans, st.Merges)
+		}
+		if st.RepairScans > st.Merges+1 {
+			t.Errorf("workers=%d: RepairScans = %d for %d merges", workers, st.RepairScans, st.Merges)
+		}
+	}
+	// The reference sweep really is quadratic-per-merge on this input —
+	// the separation the lazy path exists for.
+	if refStats.DistEvals < int64(6*n*n) {
+		t.Errorf("reference DistEvals = %d: hub input no longer adversarial (want ≫ n² = %d)",
+			refStats.DistEvals, n*n)
+	}
+}

@@ -38,6 +38,12 @@ func TestObserverConsistentAcrossWorkers(t *testing.T) {
 		if st.Counter("cluster.merges") == 0 || st.Counter("cluster.dist_evals") == 0 {
 			t.Fatalf("workers=%d: engine counters missing: %v", workers, st.Counters)
 		}
+		// The kernel default routes through the lazy heap path, so its
+		// counters must be present (and, via the DeepEqual below,
+		// worker-invariant).
+		if st.Counter(obs.CounterHeapPushes) == 0 || st.Counter(obs.CounterTilesScanned) == 0 {
+			t.Fatalf("workers=%d: lazy-heap counters missing: %v", workers, st.Counters)
+		}
 		if i == 0 {
 			base = st
 			continue

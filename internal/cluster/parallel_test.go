@@ -165,6 +165,26 @@ func TestAgglomerateStatsCounters(t *testing.T) {
 		if parStats.RepairScans != seqStats.RepairScans {
 			t.Errorf("workers=%d: RepairScans = %d, sequential did %d", w, parStats.RepairScans, seqStats.RepairScans)
 		}
+		if parStats.HeapPushes != seqStats.HeapPushes {
+			t.Errorf("workers=%d: HeapPushes = %d, sequential did %d", w, parStats.HeapPushes, seqStats.HeapPushes)
+		}
+		if parStats.StalePops != seqStats.StalePops {
+			t.Errorf("workers=%d: StalePops = %d, sequential did %d", w, parStats.StalePops, seqStats.StalePops)
+		}
+		if parStats.DeadNNRescans != seqStats.DeadNNRescans {
+			t.Errorf("workers=%d: DeadNNRescans = %d, sequential did %d", w, parStats.DeadNNRescans, seqStats.DeadNNRescans)
+		}
+		if parStats.TilesScanned != seqStats.TilesScanned {
+			t.Errorf("workers=%d: TilesScanned = %d, sequential did %d", w, parStats.TilesScanned, seqStats.TilesScanned)
+		}
+	}
+	// The default path is the lazy heap (kernel on): its counters must be
+	// live, and the initial seed alone pushes one entry per record.
+	if seqStats.HeapPushes < int64(n) {
+		t.Errorf("HeapPushes = %d, want ≥ n = %d from the initial seed", seqStats.HeapPushes, n)
+	}
+	if seqStats.TilesScanned == 0 {
+		t.Error("TilesScanned = 0 on the lazy path")
 	}
 }
 

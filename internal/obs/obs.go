@@ -127,6 +127,26 @@ const (
 	PeakKernelArenaRows = "cluster.kernel.arena_rows"
 )
 
+// Counter names emitted by the lazy NN-heap merge selection of the
+// kernel-mode engine (internal/cluster/lazynn.go, DESIGN.md §17). All are
+// maintained on the engine's driving goroutine over quantities that depend
+// only on the clustering trajectory, never on work sharding, so they are
+// worker-count invariant.
+const (
+	// CounterHeapPushes counts candidate entries pushed onto the selection
+	// heap: the initial seed plus one push per nearest-neighbour update.
+	CounterHeapPushes = "cluster.heap.pushes"
+	// CounterStalePops counts heap entries discarded at pop time because
+	// their generation tag no longer matched the cluster's.
+	CounterStalePops = "cluster.heap.stale_pops"
+	// CounterDeadNNRescans counts lazy pop-time full rescans: a fresh entry
+	// whose cached neighbour and runner-up had both died.
+	CounterDeadNNRescans = "cluster.heap.dead_nn_rescans"
+	// CounterTilesScanned counts the fixed-size candidate tiles walked by
+	// the tiled initial build, the newborn-offer pass and rescans.
+	CounterTilesScanned = "cluster.heap.tiles_scanned"
+)
+
 // Counter names emitted by the adversarial evaluation suite
 // (internal/risk.EvaluateAttacks, DESIGN.md §13). All are derived from the
 // deterministic attack simulations and therefore worker-count invariant.
